@@ -1,0 +1,33 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python
+
+.PHONY: install dev test bench bench-json report examples lint-imports clean
+
+install:
+	$(PYTHON) -m pip install -e .
+
+dev:
+	$(PYTHON) -m pip install -e '.[dev]'
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -k "not Stateful and not hypothesis"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-json:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only --benchmark-json=bench_results.json
+
+report:
+	$(PYTHON) -m repro.cli report --out experiment_report.md
+
+examples:
+	for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis bench_results.json experiment_report.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,50 @@
+"""Fig. 3 — executing time of the main (post-setup) steps per node level.
+
+Paper: for every tree level L and every node level Ni, measure the
+main protocol steps around one coin node.  Expectation: time grows with
+L and with node depth Ni, but with an "acceptable growth rate"
+(single-digit→tens of ms in their Java setup).
+
+Our "main steps" for a node at depth Ni are exactly the paper's:
+mint a spend token for the node (the e-cash transfer) and verify it —
+the per-node work of payment submission + money deposit.  The proof
+bundle grows linearly in Ni (one committed-double-log edge per path
+step), which is where the growth comes from.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.cl_sig import cl_keygen
+from repro.ecash.dec import begin_withdrawal, finish_withdrawal
+from repro.ecash.spend import create_spend, verify_spend
+from repro.ecash.tree import NodeId
+
+from benchmarks.cases import spend_cases
+
+CASES = spend_cases(max_level=6)
+
+
+@pytest.mark.parametrize("level,node_level", CASES, ids=[f"L{l}-Ni{n}" for l, n in CASES])
+def test_node_spend_and_verify(benchmark, params_by_level, level, node_level):
+    """One full spend+verify of the node at depth Ni in a level-L tree."""
+    params = params_by_level(level)
+    rng = random.Random(level * 100 + node_level)
+    bank_kp = cl_keygen(params.backend, rng)
+    from repro.crypto.cl_sig import cl_blind_issue
+
+    secret, request = begin_withdrawal(params, rng)
+    signature = cl_blind_issue(params.backend, bank_kp, request, rng)
+    coin = finish_withdrawal(params, bank_kp.public, secret, signature)
+    node = NodeId(node_level, 0)
+
+    def spend_and_verify():
+        token = create_spend(
+            params, bank_kp.public, coin.secret, coin.signature, node, rng
+        )
+        assert verify_spend(params, bank_kp.public, token)
+
+    benchmark.pedantic(spend_and_verify, rounds=3, iterations=1)

@@ -1,0 +1,79 @@
+"""Fig. 4 — cash-breaking time per breaking-node level at fixed L = 12.
+
+Paper: "we fix level L = 12, and use generated parameters and groups to
+calculate every child nodes and their path values to root.  With a
+fixed level, the deeper a child node is in the tree, the higher the
+cost" (their range: ~1 → ~2 ms).
+
+The measured operation is the paper's: given the coin secret, derive
+the key chain (the node's "path value to root") for a node at each
+depth — one modular exponentiation per tower storey, so cost is linear
+in depth with a small dynamic range, exactly the Fig. 4 shape.
+
+The module also carries the DESIGN.md §6 *ablation*: coin counts and
+denomination-coverage of the three break strategies, printed as
+``extra_info`` on the byte-level benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.cashbreak import BREAK_FN_BY_NAME, coverage
+from repro.ecash.tree import NodeId, derive_key_chain
+
+LEVEL = 12
+NODE_LEVELS = list(range(0, LEVEL + 1, 2)) + [LEVEL - 1]
+
+
+@pytest.fixture(scope="module")
+def tower12(bench_rng):
+    from repro.crypto.groups import build_tower
+
+    return build_tower(LEVEL, bench_rng)
+
+
+@pytest.mark.parametrize("node_level", sorted(set(NODE_LEVELS)))
+def test_break_node_path_derivation(benchmark, tower12, node_level):
+    """Fig. 4 series: path-value derivation cost vs breaking-node depth."""
+    rng = random.Random(node_level)
+    secret = rng.randrange(1, tower12.group(0).q)
+    node = NodeId(node_level, (1 << node_level) - 1)
+
+    benchmark(lambda: derive_key_chain(tower12, secret, node))
+
+
+@pytest.mark.parametrize("strategy", ["unitary", "pcba", "epcba"])
+def test_break_plan_computation(benchmark, strategy):
+    """Ablation: the break-plan computation itself (Algorithms 2-3) —
+    trivially cheap next to the crypto, as the paper assumes."""
+    break_fn = BREAK_FN_BY_NAME[strategy]
+    amounts = list(range(1, (1 << LEVEL) + 1, 257))
+
+    def run():
+        return [break_fn(w, LEVEL) for w in amounts]
+
+    plans = benchmark(run)
+    coins = sum(sum(1 for c in plan if c) for plan in plans)
+    benchmark.extra_info["mean_coins_per_payment"] = round(coins / len(plans), 2)
+
+
+@pytest.mark.parametrize("strategy", ["unitary", "pcba", "epcba"])
+def test_break_coverage_ablation(benchmark, strategy):
+    """Ablation: denomination-coverage (privacy) per strategy at L=8.
+
+    unitary covers all of [1, w]; EPCBA ≥ PCBA.  The mean coverage size
+    lands in extra_info so the ablation table can be read off the
+    benchmark output.
+    """
+    level = 8  # full [1, 2^12] coverage sweeps are combinatorial; 2^8 suffices
+    break_fn = BREAK_FN_BY_NAME[strategy]
+    amounts = list(range(1, (1 << level) + 1, 17))
+
+    def run():
+        return [len(coverage(break_fn(w, level))) for w in amounts]
+
+    sizes = benchmark(run)
+    benchmark.extra_info["mean_coverage"] = round(sum(sizes) / len(sizes), 1)

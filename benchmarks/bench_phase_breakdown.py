@@ -1,0 +1,95 @@
+"""Phase breakdown of one PPMSdec deal — where the milliseconds go.
+
+Not a single paper figure, but the decomposition behind Figs. 3 and 5:
+one complete deal is withdrawal (blind CL issuance), cash break + token
+minting (the JO's ZK work), SP-side verification, and bank-side deposit
+verification with serial expansion.  Each phase is benchmarked in
+isolation at the same parameter point so their relative weights are
+directly comparable in the output table.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.cl_sig import cl_blind_issue, cl_keygen
+from repro.core.cashbreak import epcba
+from repro.ecash.dec import DECBank, begin_withdrawal, finish_withdrawal
+from repro.ecash.spend import create_spend, verify_spend
+from repro.ecash.tree import CoinTree
+from repro.ecash.wallet import Wallet
+
+LEVEL = 3
+PAYMENT = 5  # EPCBA-breaks into 3 coins
+
+
+@pytest.fixture(scope="module")
+def stage(params_by_level):
+    """Shared parameter point + a certified coin and its minted tokens."""
+    params = params_by_level(LEVEL)
+    rng = random.Random(404)
+    bank_kp = cl_keygen(params.backend, rng)
+    secret, request = begin_withdrawal(params, rng)
+    signature = cl_blind_issue(params.backend, bank_kp, request, rng)
+    coin = finish_withdrawal(params, bank_kp.public, secret, signature)
+    wallet = Wallet(tree=CoinTree(LEVEL), secret=secret)
+    nodes = wallet.allocate_amount(epcba(PAYMENT, LEVEL))
+    tokens = [
+        create_spend(params, bank_kp.public, coin.secret, coin.signature, node, rng)
+        for node in nodes
+    ]
+    return params, bank_kp, coin, tokens
+
+
+def test_phase_withdrawal(benchmark, stage):
+    """Blind withdrawal: request + issuance + unwrap."""
+    params, bank_kp, _, _ = stage
+    rng = random.Random(1)
+
+    def withdraw():
+        secret, request = begin_withdrawal(params, rng)
+        signature = cl_blind_issue(params.backend, bank_kp, request, rng)
+        return finish_withdrawal(params, bank_kp.public, secret, signature)
+
+    benchmark.pedantic(withdraw, rounds=5, iterations=1)
+
+
+def test_phase_mint_payment(benchmark, stage):
+    """Cash break + spend-token minting for a payment of 5."""
+    params, bank_kp, coin, _ = stage
+    rng = random.Random(2)
+
+    def mint():
+        wallet = Wallet(tree=CoinTree(LEVEL), secret=coin.secret)
+        return [
+            create_spend(params, bank_kp.public, coin.secret, coin.signature, node, rng)
+            for node in wallet.allocate_amount(epcba(PAYMENT, LEVEL))
+        ]
+
+    benchmark.pedantic(mint, rounds=5, iterations=1)
+
+
+def test_phase_sp_verification(benchmark, stage):
+    """SP-side verification of all coins in the payment."""
+    params, bank_kp, _, tokens = stage
+    benchmark.pedantic(
+        lambda: all(verify_spend(params, bank_kp.public, t) for t in tokens),
+        rounds=5, iterations=1,
+    )
+
+
+def test_phase_bank_deposit(benchmark, stage):
+    """Bank-side deposit: verification + serial expansion + credit."""
+    params, bank_kp, coin, tokens = stage
+
+    def deposit_all():
+        rng = random.Random(3)
+        bank = DECBank.create(params, rng)
+        bank.keypair = bank_kp
+        bank.open_account("sp", 0)
+        return sum(bank.deposit("sp", t) for t in tokens)
+
+    result = benchmark.pedantic(deposit_all, rounds=5, iterations=1)
+    assert result == PAYMENT

@@ -1,0 +1,18 @@
+"""Shared parameter-grid helpers for the benchmark modules."""
+
+from __future__ import annotations
+
+__all__ = ["spend_cases"]
+
+
+def spend_cases(max_level: int) -> list[tuple[int, int]]:
+    """(tree level L, node level Ni) grid matching Fig. 3's sweep.
+
+    Every node level 0..L for each L, thinned at the large end so the
+    suite stays laptop-sized.
+    """
+    cases: list[tuple[int, int]] = []
+    for level in range(0, max_level + 1, 2):
+        for node_level in range(level + 1):
+            cases.append((level, node_level))
+    return cases

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quantitative sweep of the denomination attack vs cash-break strategy.
+
+Reproduces the privacy argument of paper Section IV-B as a Monte-Carlo
+table: the curious MA watches one SP's deposit stream in a market of
+published jobs and tries to pin the SP to its job.  Four strategies are
+swept — ``none`` (the strawman: whole payment in one coin), ``pcba``,
+``epcba`` and ``unitary`` — at several market sizes.
+
+Expected shape: identification rate collapses and the anonymity set
+grows as the break gets finer, with EPCBA ≥ PCBA (the reason Algorithm
+3 exists).
+
+Usage::
+
+    python examples/denomination_attack_demo.py [trials]
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import repro.core.optimal_break  # noqa: F401 — registers the "optimal" strategy
+from repro.attacks import denomination_experiment
+
+LEVEL = 6
+STRATEGIES = ("none", "pcba", "epcba", "optimal", "unitary")
+MARKET_SIZES = (5, 10, 20, 40)
+
+
+def main() -> None:
+    trials = int(sys.argv[1]) if len(sys.argv) > 1 else 300
+    rng = random.Random(99)
+
+    print(f"Denomination attack, L={LEVEL}, payments uniform in [1, {1 << LEVEL}], "
+          f"{trials} trials per cell\n")
+    header = f"{'jobs':>5} | " + " | ".join(f"{s:^22}" for s in STRATEGIES)
+    print(header)
+    print("-" * len(header))
+    print(f"{'':>5} | " + " | ".join(f"{'ident%':>9} {'anon-set':>11}" for _ in STRATEGIES))
+
+    for n_jobs in MARKET_SIZES:
+        cells = []
+        for strategy in STRATEGIES:
+            summary = denomination_experiment(
+                strategy, level=LEVEL, n_jobs=n_jobs, trials=trials, rng=rng
+            )
+            cells.append(
+                f"{100 * summary.identification_rate:>8.1f}% "
+                f"{summary.mean_anonymity_set:>11.2f}"
+            )
+        print(f"{n_jobs:>5} | " + " | ".join(cells))
+
+    print("\nReading: 'ident%' = fraction of SPs the MA links uniquely to "
+          "their job; 'anon-set' = mean number of jobs consistent with the "
+          "deposit stream.  Finer breaks monotonically blunt the attack "
+          "(paper Section IV-B).  'optimal' is this repo's extension: the "
+          "coverage-maximizing break under the same L+2 slot budget.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Small shared helpers used across the ``repro`` package.
+
+Everything here is dependency-free and deliberately boring: byte/int
+conversions, deterministic random sources, and tiny validation helpers.
+Keeping them in one private module avoids circular imports between the
+crypto substrates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+__all__ = [
+    "int_to_bytes",
+    "bytes_to_int",
+    "bit_length_bytes",
+    "make_rng",
+    "rand_int_bits",
+    "rand_below",
+    "rand_range",
+    "chunked",
+]
+
+
+def int_to_bytes(value: int, length: int | None = None) -> bytes:
+    """Encode a non-negative integer big-endian.
+
+    When *length* is omitted the minimal number of bytes is used (with
+    ``0`` encoding to a single zero byte so round-trips are stable).
+    """
+    if value < 0:
+        raise ValueError("cannot encode negative integer")
+    if length is None:
+        length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Decode a big-endian byte string into a non-negative integer."""
+    return int.from_bytes(data, "big")
+
+
+def bit_length_bytes(bits: int) -> int:
+    """Number of bytes needed to hold *bits* bits."""
+    if bits < 0:
+        raise ValueError("bit count must be non-negative")
+    return (bits + 7) // 8
+
+
+def make_rng(seed: int | None = None) -> random.Random:
+    """Return a :class:`random.Random` for protocol simulation.
+
+    All randomness in the library flows through explicitly passed
+    ``random.Random`` instances so experiments are reproducible.  This is
+    a *simulation* library: we deliberately use a seedable PRNG instead of
+    ``secrets`` so that test suites and benchmarks are deterministic.
+    """
+    return random.Random(seed)
+
+
+def rand_int_bits(rng: random.Random, bits: int) -> int:
+    """Uniform random integer with exactly *bits* bits (MSB set)."""
+    if bits <= 0:
+        raise ValueError("bit count must be positive")
+    if bits == 1:
+        return 1
+    return (1 << (bits - 1)) | rng.getrandbits(bits - 1)
+
+
+def rand_below(rng: random.Random, upper: int) -> int:
+    """Uniform random integer in ``[0, upper)``."""
+    if upper <= 0:
+        raise ValueError("upper bound must be positive")
+    return rng.randrange(upper)
+
+
+def rand_range(rng: random.Random, lower: int, upper: int) -> int:
+    """Uniform random integer in ``[lower, upper)``."""
+    if upper <= lower:
+        raise ValueError("empty range")
+    return rng.randrange(lower, upper)
+
+
+def chunked(data: bytes, size: int) -> Iterator[bytes]:
+    """Yield consecutive *size*-byte chunks of *data* (last may be short)."""
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    for start in range(0, len(data), size):
+        yield data[start : start + size]

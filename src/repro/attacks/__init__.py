@@ -1,0 +1,51 @@
+"""Privacy-attack simulations: adversary views, the denomination attack,
+and linkage experiments (paper Sections III-B2 and IV-B)."""
+
+from repro.attacks.adversary import CuriousJOView, CuriousMAView, NetworkEavesdropperView
+from repro.attacks.combined import CombinedResult, combined_experiment
+from repro.attacks.denomination import (
+    DenominationAttackResult,
+    candidate_jobs,
+    reachable_sums,
+    run_denomination_attack,
+)
+from repro.attacks.linkage import (
+    LinkageSummary,
+    denomination_experiment,
+    withdrawal_unlinkability_experiment,
+)
+from repro.attacks.longitudinal import LongitudinalResult, longitudinal_experiment
+from repro.attacks.malicious import (
+    MisbehaviourOutcome,
+    jo_reuses_node,
+    jo_ships_garbage,
+    jo_underpays,
+    ma_peeks_payment,
+    sp_replays_token,
+)
+from repro.attacks.timing import TimingAdversary, timing_experiment
+
+__all__ = [
+    "CombinedResult",
+    "combined_experiment",
+    "CuriousMAView",
+    "CuriousJOView",
+    "NetworkEavesdropperView",
+    "DenominationAttackResult",
+    "candidate_jobs",
+    "reachable_sums",
+    "run_denomination_attack",
+    "LinkageSummary",
+    "denomination_experiment",
+    "withdrawal_unlinkability_experiment",
+    "LongitudinalResult",
+    "longitudinal_experiment",
+    "TimingAdversary",
+    "timing_experiment",
+    "MisbehaviourOutcome",
+    "jo_underpays",
+    "jo_reuses_node",
+    "jo_ships_garbage",
+    "sp_replays_token",
+    "ma_peeks_payment",
+]

@@ -1,0 +1,89 @@
+"""Adversary observation models: what each curious party actually sees.
+
+The paper's threat model (Section III-B) makes the MA and the JOs
+honest-but-curious-to-malicious insiders.  These classes materialize
+each adversary's *view* from the simulation artefacts so the privacy
+experiments can only use information the real adversary would hold —
+a guard against accidentally "cheating" attacks in the analysis code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.net.transport import Envelope, Transport
+
+__all__ = ["CuriousMAView", "CuriousJOView", "NetworkEavesdropperView"]
+
+
+@dataclass
+class CuriousMAView:
+    """Everything a curious MA can record.
+
+    The MA relays *all* traffic and runs the bank, so it sees: the
+    bulletin board, every envelope's metadata and any plaintext payload,
+    the withdrawal ledger (account, value) and the deposit ledger
+    (account, denominations, times).  It does **not** see inside
+    RSA ciphertexts addressed to residents.
+    """
+
+    published_jobs: dict[str, int] = field(default_factory=dict)
+    withdrawal_ledger: list[tuple[str, int]] = field(default_factory=list)
+    deposit_ledger: list[tuple[str, int, float]] = field(default_factory=list)
+    envelopes: list[Envelope] = field(default_factory=list)
+
+    def observe_job(self, job_id: str, payment: int) -> None:
+        self.published_jobs[job_id] = payment
+
+    def observe_withdrawal(self, aid: str, value: int) -> None:
+        self.withdrawal_ledger.append((aid, value))
+
+    def observe_deposit(self, aid: str, amount: int, at_time: float) -> None:
+        self.deposit_ledger.append((aid, amount, at_time))
+
+    def attach(self, transport: Transport) -> None:
+        transport.add_observer(self.envelopes.append)
+
+    def deposits_of(self, aid: str) -> list[int]:
+        """The denomination stream the MA correlates to one account."""
+        return [amount for (a, amount, _) in self.deposit_ledger if a == aid]
+
+
+@dataclass
+class CuriousJOView:
+    """What a curious job owner records about its own job.
+
+    The JO sees the pseudonyms that registered for its job, the blinded
+    payment requests it signed, and the data reports it received.  The
+    blindness of the payment signature is what stands between this view
+    and transaction linkage.
+    """
+
+    labor_pseudonyms: list[bytes] = field(default_factory=list)
+    blinded_requests: list[int] = field(default_factory=list)
+    received_reports: list[bytes] = field(default_factory=list)
+
+    def observe_labor(self, pseudonym: bytes) -> None:
+        self.labor_pseudonyms.append(pseudonym)
+
+    def observe_blinded_request(self, blinded: int) -> None:
+        self.blinded_requests.append(blinded)
+
+    def observe_report(self, payload: bytes) -> None:
+        self.received_reports.append(payload)
+
+
+@dataclass
+class NetworkEavesdropperView:
+    """A network-level observer outside the mix: sizes and counts only."""
+
+    message_sizes: list[int] = field(default_factory=list)
+
+    def attach(self, transport: Transport) -> None:
+        transport.add_observer(lambda env: self.message_sizes.append(env.wire_bytes))
+
+    def size_histogram(self) -> dict[int, int]:
+        hist: dict[int, int] = {}
+        for size in self.message_sizes:
+            hist[size] = hist.get(size, 0) + 1
+        return hist

@@ -1,0 +1,89 @@
+"""The denomination attack and its mitigation by cash breaking.
+
+Paper Section IV-B: the MA (who runs the bank *and* publishes the
+bulletin board) sees each job's advertised payment and each SP's
+deposit stream.  If the deposits of an SP sum in a way only one
+published job can explain, the MA links the SP's real account to that
+job — breaking job-linkage privacy.
+
+The attack implemented here is the natural Bayesian version: given a
+deposit multiset *D* observed for one account, a job with payment *w*
+is a *candidate* iff some sub-multiset of *D* sums to *w*.  The
+privacy metric is the candidate (anonymity) set: the bigger it is, the
+less the MA learns.  Cash breaking grows the subset-sum coverage of a
+payment — unitary breaking maximally so — which is exactly why the
+paper introduces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "reachable_sums",
+    "candidate_jobs",
+    "DenominationAttackResult",
+    "run_denomination_attack",
+]
+
+
+def reachable_sums(deposits: Sequence[int]) -> set[int]:
+    """All nonzero sums of sub-multisets of *deposits* (DP, not 2^n)."""
+    sums: set[int] = set()
+    for d in deposits:
+        if d <= 0:
+            raise ValueError("deposits must be positive")
+        sums |= {d} | {s + d for s in sums}
+    return sums
+
+
+def candidate_jobs(
+    job_payments: dict[str, int], deposits: Sequence[int]
+) -> set[str]:
+    """Jobs whose payment some sub-multiset of *deposits* could cover."""
+    if not deposits:
+        return set()
+    sums = reachable_sums(deposits)
+    return {job_id for job_id, w in job_payments.items() if w in sums}
+
+
+@dataclass(frozen=True)
+class DenominationAttackResult:
+    """Outcome of the attack against one SP's deposit stream."""
+
+    true_job: str
+    candidates: frozenset[str]
+
+    @property
+    def anonymity_set_size(self) -> int:
+        return len(self.candidates)
+
+    @property
+    def uniquely_identified(self) -> bool:
+        """The MA pinned the SP to exactly the true job."""
+        return self.candidates == frozenset({self.true_job})
+
+    @property
+    def true_job_covered(self) -> bool:
+        """Sanity: the attack's candidate set must contain the truth."""
+        return self.true_job in self.candidates
+
+
+def run_denomination_attack(
+    job_payments: dict[str, int],
+    true_job: str,
+    deposits: Sequence[int],
+) -> DenominationAttackResult:
+    """Run the MA's inference against one SP.
+
+    *deposits* is the multiset of coin denominations the MA saw the
+    SP's account deposit.  The true job must be among the published
+    jobs (the MA's candidate model is complete by construction).
+    """
+    if true_job not in job_payments:
+        raise ValueError("true job must be a published job")
+    return DenominationAttackResult(
+        true_job=true_job,
+        candidates=frozenset(candidate_jobs(job_payments, deposits)),
+    )

@@ -1,0 +1,110 @@
+"""Longitudinal denomination analysis: does participation help or hurt?
+
+The paper argues (Section IV-B1) that "as the number of jobs that the
+SP participates in become greater, the possible sum of previous
+deposits could cover all element in [1, 2^L] which makes the
+denomination attack completely fail."  That is true for a *single-shot*
+adversary staring at one undifferentiated pile of deposits.  But a
+curious MA watches the market for a long time and can segment deposits
+by epoch (day, week): each epoch yields its own candidate-job set, and
+a recurring participant can be attacked by *intersecting evidence
+across epochs* — e.g. matching each epoch's deposit multiset against
+the jobs *published that epoch*.
+
+:func:`longitudinal_experiment` measures both effects on the same
+simulated history:
+
+* **pooled** adversary — the paper's model: all deposits in one pile,
+  candidates = jobs (from any epoch) whose payment is a reachable sum.
+  Its identification rate collapses as epochs accumulate, exactly as
+  the paper predicts.
+* **segmenting** adversary — per-epoch candidate sets from per-epoch
+  deposits and that epoch's published jobs; an SP is identified if
+  *any* epoch pins it uniquely.  Its rate *grows* with epochs: every
+  participation is another chance to be pinned.
+
+The takeaway the paper misses: accumulation only protects against an
+adversary that cannot segment time — which the deposit timestamps the
+bank necessarily holds make unrealistic.  The mitigations are exactly
+the paper's other tools (finer breaks, random waits spreading deposits
+across epoch boundaries).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.attacks.denomination import candidate_jobs
+from repro.core.cashbreak import BREAK_FN_BY_NAME
+
+__all__ = ["LongitudinalResult", "longitudinal_experiment"]
+
+
+@dataclass(frozen=True)
+class LongitudinalResult:
+    """Identification rates of the pooled vs segmenting adversary."""
+
+    epochs: int
+    pooled_rate: float
+    segmenting_rate: float
+    trials: int
+
+
+def longitudinal_experiment(
+    *,
+    level: int,
+    epochs: int,
+    jobs_per_epoch: int,
+    trials: int,
+    rng: random.Random,
+    break_strategy: str = "pcba",
+) -> LongitudinalResult:
+    """Attack one recurring SP over *epochs* market epochs.
+
+    Per epoch, *jobs_per_epoch* jobs are published with i.i.d. uniform
+    payments; the SP works exactly one (uniformly chosen) job per epoch
+    and deposits its broken payment within that epoch.
+    """
+    break_fn = BREAK_FN_BY_NAME[break_strategy]
+    pooled_hits = 0
+    segmenting_hits = 0
+    for _ in range(trials):
+        epoch_jobs: list[dict[str, int]] = []
+        epoch_coins: list[list[int]] = []
+        true_jobs: list[str] = []
+        for e in range(epochs):
+            jobs = {f"e{e}-job-{i}": rng.randint(1, 1 << level)
+                    for i in range(jobs_per_epoch)}
+            epoch_jobs.append(jobs)
+            chosen = rng.choice(sorted(jobs))
+            true_jobs.append(chosen)
+            epoch_coins.append([d for d in break_fn(jobs[chosen], level) if d])
+
+        # pooled adversary: one pile of coins vs the union of all jobs
+        all_jobs = {k: v for jobs in epoch_jobs for k, v in jobs.items()}
+        all_coins = [c for coins in epoch_coins for c in coins]
+        pooled_candidates = candidate_jobs(all_jobs, all_coins)
+        # it "identifies" the SP if the candidate set is exactly the
+        # SP's true job set (the strongest pooled claim possible)
+        if pooled_candidates == set(true_jobs):
+            pooled_hits += 1
+
+        # segmenting adversary: per-epoch candidates; a unique hit in
+        # any epoch pins the SP to a job (hence to the job's sensitive
+        # subject matter) at least once
+        pinned = False
+        for jobs, coins, true_job in zip(epoch_jobs, epoch_coins, true_jobs):
+            candidates = candidate_jobs(jobs, coins)
+            if candidates == {true_job}:
+                pinned = True
+                break
+        if pinned:
+            segmenting_hits += 1
+
+    return LongitudinalResult(
+        epochs=epochs,
+        pooled_rate=pooled_hits / trials if trials else 0.0,
+        segmenting_rate=segmenting_hits / trials if trials else 0.0,
+        trials=trials,
+    )

@@ -1,0 +1,138 @@
+"""Cash-break algorithms (paper Section IV-C, Algorithms 2 and 3).
+
+Breaking the payment *w* into smaller coins is PPMSdec's defence
+against the *denomination attack*: if the MA sees a deposit stream
+whose sum uniquely matches a published job's payment, it can link the
+depositing SP to that job.  Breaking w into k coins makes the received
+payment compatible with any of the ``Σ C(k, i)`` subset sums, and as an
+SP accumulates coins from several jobs the possible sums cover all of
+``[1, 2^L]``.
+
+Three strategies (all return a list of ``L + 2`` slot denominations —
+zeros are fake-coin slots, so message length is value-independent):
+
+* :func:`unitary_break` — ``w`` coins of value 1 (the maximally private
+  but expensive scheme of Section IV-A4); slot count ``2^L``.
+* :func:`pcba` — Privacy-aware Cash Break (Alg. 2): follow the binary
+  representation of *w* directly.
+* :func:`epcba` — Enhanced PCBA (Alg. 3): pick whichever of
+  ``B(w)`` and ``B(w-1) + 1`` yields *more* coins (more, smaller
+  denominations ⇒ more subset sums ⇒ stronger privacy).
+
+:func:`coverage` quantifies the privacy effect: the set of payment
+values a given coin multiset is compatible with.
+"""
+
+from __future__ import annotations
+
+
+__all__ = [
+    "binary_digits",
+    "BREAK_FN_BY_NAME",
+    "unitary_break",
+    "pcba",
+    "epcba",
+    "coverage",
+    "subset_sums",
+    "validate_break",
+]
+
+
+def binary_digits(value: int, width: int) -> list[int]:
+    """``B(value)`` — the *width*-bit binary representation.
+
+    Index *i* (0-based here; the paper is 1-based) holds the i-th
+    least-significant bit.
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >= (1 << width):
+        raise ValueError(f"{value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def _check_amount(w: int, level: int) -> None:
+    if not 1 <= w <= (1 << level):
+        raise ValueError(f"payment must be in [1, 2^{level}]")
+
+
+def unitary_break(w: int, level: int) -> list[int]:
+    """Break *w* into ``w`` unitary coins, padded to ``2^level`` slots."""
+    _check_amount(w, level)
+    return [1] * w + [0] * ((1 << level) - w)
+
+
+def pcba(w: int, level: int) -> list[int]:
+    """Privacy-aware Cash Break (Algorithm 2).
+
+    Returns ``L + 2`` denominations ``w_i = 2^(i-1) * B(w)[i]`` (last
+    slot always 0 to match EPCBA's output shape, so the two algorithms
+    are wire-compatible).
+    """
+    _check_amount(w, level)
+    bits = binary_digits(w, level + 1)
+    return [(1 << i) * bits[i] for i in range(level + 1)] + [0]
+
+
+def epcba(w: int, level: int) -> list[int]:
+    """Enhanced Privacy-aware Cash Break (Algorithm 3).
+
+    Compares the popcount of ``w`` and ``w - 1``; when ``w - 1`` has at
+    least as many set bits, break ``w - 1`` binary-wise and add one
+    extra unitary coin — yielding more (hence smaller) coins and more
+    possible subset sums.
+    """
+    _check_amount(w, level)
+    a = bin(w).count("1")
+    a_prime = bin(w - 1).count("1")
+    if a <= a_prime:
+        bits = binary_digits(w - 1, level + 1)
+        return [(1 << i) * bits[i] for i in range(level + 1)] + [1]
+    bits = binary_digits(w, level + 1)
+    return [(1 << i) * bits[i] for i in range(level + 1)] + [0]
+
+
+def validate_break(denominations: list[int], w: int, level: int) -> bool:
+    """Invariant check: slots sum to *w*, each slot is 0 or a power of 2
+    no larger than ``2^level``."""
+    if sum(denominations) != w:
+        return False
+    for d in denominations:
+        if d == 0:
+            continue
+        if d & (d - 1) or d > (1 << level):
+            return False
+    return True
+
+
+#: name -> break function, shared by the protocol layer and the attack sims
+BREAK_FN_BY_NAME = {
+    "unitary": unitary_break,
+    "pcba": pcba,
+    "epcba": epcba,
+}
+
+
+def subset_sums(denominations: list[int]) -> set[int]:
+    """All nonzero sums of sub-multisets of the (nonzero) coins.
+
+    Incremental set accumulation — O(#coins × #distinct sums), not the
+    2^k of naive enumeration, so unitary breaks of large payments stay
+    cheap.
+    """
+    sums: set[int] = set()
+    for d in denominations:
+        if d > 0:
+            sums |= {d} | {s + d for s in sums}
+    return sums
+
+
+def coverage(denominations: list[int]) -> set[int]:
+    """Payment values this coin multiset is *compatible* with.
+
+    From the MA's viewpoint, a deposit stream carrying these coins
+    could have originated from any job whose payment equals one of
+    these subset sums — the paper's measure of how much the break
+    blunts the denomination attack.
+    """
+    return subset_sums(denominations)

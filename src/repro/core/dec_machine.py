@@ -1,0 +1,383 @@
+"""PPMSdec as message-driven state machines (Algorithm 1 on the engine).
+
+The heavyweight mechanism in production shape: parties that react only
+to envelopes, with the full step order of Algorithm 1 —
+
+    1. JO -> MA   job-registration {jd, w, rpk}
+    2. JO -> MA   withdraw-request {request}         (blind)
+       MA -> JO   withdraw-response {signature}
+    3. SP -> MA   labor-registration {job, rpk}
+       MA -> JO   labor-forward {job, rpk}
+    4. JO -> MA   payment-submission {pseudonym, ciphertext}
+    5. SP -> MA   data-submission {pseudonym, job, data}
+       MA -> SP   payment-delivery {ciphertext}
+    6. SP -> MA   payment-confirm {pseudonym}
+       MA -> JO   data-delivery {job, data}
+    7. SP -> MA   deposit {aid, coin}                (per coin)
+
+State machines enforce the order: an SP rejects a payment before it
+registered, the MA refuses deposits of malformed coins, the JO refuses
+labor registrations for jobs it never published.  All coins are
+cash-broken and fake-padded exactly as in the session implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum, auto
+from typing import Any
+
+from repro.core.cashbreak import BREAK_FN_BY_NAME
+from repro.core.engine import Outbound, Party, ProtocolError, Router
+from repro.core.market import BulletinBoard, JobProfile, new_job_id
+from repro.crypto import rsa
+from repro.ecash.dec import (
+    Coin,
+    DECBank,
+    DoubleSpendError,
+    begin_withdrawal,
+    finish_withdrawal,
+)
+from repro.ecash.fake import pad_payment
+from repro.ecash.spend import DECParams, SpendToken, create_spend, verify_spend
+from repro.ecash.wallet import InsufficientFunds, Wallet
+from repro.net.codec import decode, encode
+
+__all__ = ["MADecMachine", "JODecMachine", "SPDecMachine", "run_dec_machine_market"]
+
+MA = "MA"
+_SP_PREFIX = "dsp:"
+
+
+def sp_party_name(pseudonym: bytes) -> str:
+    return _SP_PREFIX + pseudonym.hex()
+
+
+class SPDecState(Enum):
+    INIT = auto()
+    REGISTERED = auto()
+    DATA_SENT = auto()
+    PAID = auto()
+
+
+class MADecMachine(Party):
+    """MA for the message-driven PPMSdec market."""
+
+    def __init__(self, params: DECParams, rng: random.Random) -> None:
+        super().__init__(MA)
+        self.params = params
+        self.rng = rng
+        self.bank = DECBank.create(params, rng)
+        self.board = BulletinBoard()
+        self.jo_for_job: dict[str, str] = {}
+        self.account_of: dict[str, str] = {}  # party name -> bank account id
+        self._pending_payments: dict[bytes, bytes] = {}
+        self._held_reports: dict[bytes, dict] = {}
+        self.clock = 0.0
+
+    def register_resident(self, party_name: str, aid: str, funds: int) -> None:
+        """Authenticated account opening (driver-level, like enrolment)."""
+        self.bank.open_account(aid, funds)
+        self.account_of[party_name] = aid
+
+    def handle(self, sender: str, kind: str, payload: Any) -> list[Outbound]:
+        if kind == "job-registration":
+            profile = JobProfile(
+                job_id=new_job_id(),
+                description=payload["jd"],
+                payment=payload["w"],
+                owner_pseudonym=bytes(payload["rpk_fingerprint"]),
+            )
+            self.board.publish(profile)
+            self.jo_for_job[profile.job_id] = sender
+            return [Outbound(sender, "job-published", {"job": profile.job_id})]
+        if kind == "withdraw-request":
+            aid = self.account_of.get(sender)
+            if aid is None:
+                raise ProtocolError("withdrawal from unenrolled resident")
+            try:
+                signature = self.bank.issue(aid, payload["request"])
+            except ValueError as exc:
+                raise ProtocolError(str(exc)) from exc
+            return [Outbound(sender, "withdraw-response", {"signature": signature})]
+        if kind == "labor-registration":
+            jo = self.jo_for_job.get(payload["job"])
+            if jo is None:
+                raise ProtocolError(f"labor registration for unknown job {payload['job']!r}")
+            return [Outbound(jo, "labor-forward",
+                             {"job": payload["job"], "rpk": payload["rpk"]})]
+        if kind == "payment-submission":
+            self._pending_payments[bytes(payload["pseudonym"])] = payload["ciphertext"]
+            return self._maybe_deliver(bytes(payload["pseudonym"]))
+        if kind == "data-submission":
+            pseud = bytes(payload["pseudonym"])
+            self._held_reports[pseud] = {"job": payload["job"], "data": payload["data"]}
+            return self._maybe_deliver(pseud)
+        if kind == "payment-confirm":
+            pseud = bytes(payload["pseudonym"])
+            report = self._held_reports.pop(pseud, None)
+            if report is None:
+                raise ProtocolError("confirmation without a held report")
+            jo = self.jo_for_job.get(report["job"])
+            if jo is None:  # pragma: no cover - board and report kept in sync
+                raise ProtocolError("report for unknown job")
+            return [Outbound(jo, "data-delivery", report)]
+        if kind == "deposit":
+            aid = self.account_of.get(sender)
+            if aid is None or aid != payload["aid"]:
+                raise ProtocolError("deposit with mismatched account identity")
+            token = payload["coin"]
+            if not isinstance(token, SpendToken):
+                raise ProtocolError("malformed coin in deposit")
+            self.clock += 1.0
+            try:
+                self.bank.deposit(aid, token)
+            except DoubleSpendError as exc:
+                raise ProtocolError(f"double spend: {exc}") from exc
+            except ValueError as exc:
+                raise ProtocolError(f"invalid coin: {exc}") from exc
+            return []
+        raise ProtocolError(f"MA cannot handle message kind {kind!r}")
+
+    def _maybe_deliver(self, pseud: bytes) -> list[Outbound]:
+        if pseud in self._pending_payments and pseud in self._held_reports:
+            ciphertext = self._pending_payments.pop(pseud)
+            return [Outbound(sp_party_name(pseud), "payment-delivery",
+                             {"ciphertext": ciphertext})]
+        return []
+
+
+class JODecMachine(Party):
+    """A job owner for the message-driven market."""
+
+    def __init__(
+        self,
+        name: str,
+        params: DECParams,
+        rng: random.Random,
+        *,
+        description: str,
+        payment: int,
+        rsa_bits: int = 512,
+        break_algorithm: str = "pcba",
+    ) -> None:
+        super().__init__(name)
+        self.params = params
+        self.rng = rng
+        self.payment = payment
+        self.description = description
+        self.break_algorithm = break_algorithm
+        self.job_key = rsa.generate_keypair(rsa_bits, rng)
+        self.job_id: str | None = None
+        self.coins: list[tuple[Coin, Wallet]] = []
+        self._pending_secrets: list[int] = []
+        self._bank_pk = None
+        self.received_reports: list[dict] = []
+        self._deferred_labor: list[tuple[int, int]] = []
+
+    def attach_bank_key(self, bank_pk) -> None:
+        self._bank_pk = bank_pk
+
+    def start(self) -> list[Outbound]:
+        return [
+            Outbound(MA, "job-registration", {
+                "jd": self.description, "w": self.payment,
+                "rpk_fingerprint": self.job_key.public.fingerprint(),
+            }),
+            self._new_withdrawal(),
+        ]
+
+    def _new_withdrawal(self) -> Outbound:
+        secret, request = begin_withdrawal(self.params, self.rng)
+        self._pending_secrets.append(secret)
+        return Outbound(MA, "withdraw-request", {"request": request})
+
+    def handle(self, sender: str, kind: str, payload: Any) -> list[Outbound]:
+        if kind == "job-published":
+            self.job_id = payload["job"]
+            return []
+        if kind == "withdraw-response":
+            if not self._pending_secrets:
+                raise ProtocolError("unexpected withdrawal response")
+            secret = self._pending_secrets.pop(0)  # MA answers FIFO
+            coin = finish_withdrawal(self.params, self._bank_pk, secret,
+                                     payload["signature"])
+            self.coins.append((coin, coin.wallet()))
+            # serve any labor registrations that waited for funds
+            out = []
+            deferred, self._deferred_labor = self._deferred_labor, []
+            for rpk in deferred:
+                out.extend(self._serve_labor(rpk))
+            return out
+        if kind == "labor-forward":
+            return self._serve_labor(tuple(payload["rpk"]))
+        if kind == "data-delivery":
+            self.received_reports.append(payload)
+            return []
+        raise ProtocolError(f"JO cannot handle message kind {kind!r}")
+
+    def _serve_labor(self, rpk: tuple[int, int]) -> list[Outbound]:
+        """Pay the registered worker, withdrawing another coin if needed."""
+        try:
+            return [self._build_payment(rpk)]
+        except InsufficientFunds:
+            self._deferred_labor.append(rpk)
+            return [self._new_withdrawal()]
+
+    def _build_payment(self, rpk: tuple[int, int]) -> Outbound:
+        sp_pub = rsa.RSAPublicKey(*rpk)
+        denominations = BREAK_FN_BY_NAME[self.break_algorithm](
+            self.payment, self.params.tree_level
+        )
+        blobs = []
+        reserved_nodes = []
+        for denom in denominations:
+            if denom == 0:
+                continue
+            for coin, wallet in self.coins:
+                try:
+                    node = wallet.allocate(denom)
+                except InsufficientFunds:
+                    continue
+                reserved_nodes.append(node)
+                token = create_spend(
+                    self.params, self._bank_pk, coin.secret, coin.signature, node, self.rng
+                )
+                blobs.append(encode(token))
+                break
+            else:
+                for _, wallet in self.coins:
+                    for node in reserved_nodes:
+                        wallet.release(node)
+                raise InsufficientFunds(f"JO cannot fund denomination {denom}")
+        padded = pad_payment(blobs, slots=len(denominations), rng=self.rng)
+        sig = rsa.sign(self.job_key, sp_pub.fingerprint())
+        ciphertext = rsa.encrypt(sp_pub, encode({"coins": padded, "sig": sig}), self.rng)
+        return Outbound(MA, "payment-submission",
+                        {"pseudonym": sp_pub.fingerprint(), "ciphertext": ciphertext})
+
+
+class SPDecMachine(Party):
+    """A sensing participant for the message-driven market."""
+
+    def __init__(
+        self,
+        params: DECParams,
+        rng: random.Random,
+        *,
+        aid: str,
+        job_id: str,
+        jo_pseudonym_key: rsa.RSAPublicKey,
+        expected_payment: int,
+        bank_pk,
+        data_payload: bytes = b"sensed",
+        rsa_bits: int = 512,
+    ) -> None:
+        self.params = params
+        self.rng = rng
+        self.aid = aid
+        self.job_id = job_id
+        self.jo_pseudonym_key = jo_pseudonym_key
+        self.expected_payment = expected_payment
+        self.bank_pk = bank_pk
+        self.data_payload = data_payload
+        self.labor_key = rsa.generate_keypair(rsa_bits, rng)
+        super().__init__(sp_party_name(self.pseudonym))
+        self.state = SPDecState.INIT
+        self.received_value = 0
+
+    @property
+    def pseudonym(self) -> bytes:
+        return self.labor_key.public.fingerprint()
+
+    def start(self) -> list[Outbound]:
+        self.state = SPDecState.REGISTERED
+        out = [Outbound(MA, "labor-registration", {
+            "job": self.job_id,
+            "rpk": (self.labor_key.public.n, self.labor_key.public.e),
+        })]
+        out.append(Outbound(MA, "data-submission", {
+            "pseudonym": self.pseudonym, "job": self.job_id, "data": self.data_payload,
+        }))
+        self.state = SPDecState.DATA_SENT
+        return out
+
+    def handle(self, sender: str, kind: str, payload: Any) -> list[Outbound]:
+        if kind == "payment-delivery":
+            if self.state is not SPDecState.DATA_SENT:
+                raise ProtocolError("payment delivered out of order")
+            try:
+                body = decode(rsa.decrypt(self.labor_key, payload["ciphertext"]))
+            except ValueError as exc:
+                raise ProtocolError(f"payment undecryptable: {exc}") from exc
+            if not rsa.verify(self.jo_pseudonym_key, self.pseudonym, body["sig"]):
+                raise ProtocolError("JO signature on payment invalid")
+            tokens = []
+            for blob in body["coins"]:
+                try:
+                    candidate = decode(blob)
+                except ValueError:
+                    continue
+                if isinstance(candidate, SpendToken) and verify_spend(
+                    self.params, self.bank_pk, candidate
+                ):
+                    tokens.append(candidate)
+            value = sum(t.denomination(self.params.tree_level) for t in tokens)
+            if value != self.expected_payment:
+                raise ProtocolError(
+                    f"payment value {value} != advertised {self.expected_payment}"
+                )
+            self.received_value = value
+            self.state = SPDecState.PAID
+            out = [Outbound(MA, "payment-confirm", {"pseudonym": self.pseudonym})]
+            out += [
+                Outbound(MA, "deposit", {"aid": self.aid, "coin": token})
+                for token in tokens
+            ]
+            return out
+        raise ProtocolError(f"SP cannot handle message kind {kind!r}")
+
+
+def run_dec_machine_market(
+    params: DECParams,
+    rng: random.Random,
+    *,
+    n_workers: int,
+    payment: int,
+    jo_funds: int | None = None,
+    rsa_bits: int = 512,
+    break_algorithm: str = "pcba",
+) -> tuple[Router, MADecMachine, JODecMachine, list[SPDecMachine]]:
+    """Wire and run one message-driven PPMSdec market to quiescence."""
+    router = Router()
+    ma = MADecMachine(params, rng)
+    router.add(ma)
+
+    coin_value = 1 << params.tree_level
+    jo = JODecMachine("JO", params, rng, description="machine-market sensing job",
+                      payment=payment, rsa_bits=rsa_bits,
+                      break_algorithm=break_algorithm)
+    jo.attach_bank_key(ma.bank.public_key)
+    router.add(jo)
+    ma.register_resident("JO", "jo-acct", jo_funds or coin_value * max(1, n_workers))
+
+    # the JO registers its job and withdraws before workers arrive
+    router.activate("JO")
+    router.run()
+    assert jo.job_id is not None
+
+    sps = []
+    for i in range(n_workers):
+        sp = SPDecMachine(
+            params, rng, aid=f"sp-acct-{i}", job_id=jo.job_id,
+            jo_pseudonym_key=jo.job_key.public, expected_payment=payment,
+            bank_pk=ma.bank.public_key, rsa_bits=rsa_bits,
+        )
+        router.add(sp)
+        ma.register_resident(sp.name, sp.aid, 0)
+        sps.append(sp)
+
+    for sp in sps:
+        router.activate(sp.name)
+    router.run()
+    return router, ma, jo, sps

@@ -1,0 +1,109 @@
+"""Persistence and audit for the PPMSpbs bank.
+
+The unitary-market bank (:class:`~repro.core.ppms_pbs.VirtualBankPbs`)
+carries different books than the DEC bank: balances keyed by real-key
+fingerprints, the spent-serial set (per-JO freshness), and the
+transaction log the mechanism deliberately exposes.  Same persistence
+contract as :mod:`repro.core.ledger`: codec body + integrity digest,
+books-only restore, and a findings-style audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ppms_pbs import VirtualBankPbs
+from repro.crypto.hashing import sha256
+from repro.net.codec import decode, encode
+
+__all__ = [
+    "PbsSnapshotError",
+    "snapshot_pbs_bank",
+    "restore_pbs_bank",
+    "audit_pbs_bank",
+    "PbsAuditReport",
+]
+
+_MAGIC = b"repro-pbs-bank-snapshot-v1"
+
+
+class PbsSnapshotError(Exception):
+    """Snapshot blob rejected (corruption, version)."""
+
+
+def snapshot_pbs_bank(bank: VirtualBankPbs) -> bytes:
+    """Serialize the PBS bank's books to bytes."""
+    state = {
+        "accounts": {aid.hex(): bal for aid, bal in bank.accounts.items()},
+        "bound_keys": {aid.hex(): list(key) for aid, key in bank.bound_keys.items()},
+        "spent_serials": sorted(
+            [jo.hex(), serial] for (jo, serial) in bank.spent_serials
+        ),
+        "transactions": [[payer.hex(), payee.hex()] for payer, payee in bank.transaction_log],
+    }
+    body = encode(state)
+    return _MAGIC + sha256(_MAGIC, body) + body
+
+
+def restore_pbs_bank(bank: VirtualBankPbs, blob: bytes) -> None:
+    """Load a snapshot into *bank*, replacing its books."""
+    if not blob.startswith(_MAGIC):
+        raise PbsSnapshotError("not a PBS bank snapshot (bad magic)")
+    digest, body = blob[len(_MAGIC) : len(_MAGIC) + 32], blob[len(_MAGIC) + 32 :]
+    if sha256(_MAGIC, body) != digest:
+        raise PbsSnapshotError("snapshot integrity digest mismatch")
+    try:
+        state = decode(body)
+    except ValueError as exc:
+        raise PbsSnapshotError(f"snapshot body undecodable: {exc}") from exc
+    bank.accounts.clear()
+    bank.accounts.update({bytes.fromhex(a): b for a, b in state["accounts"].items()})
+    bank.bound_keys.clear()
+    bank.bound_keys.update(
+        {bytes.fromhex(a): tuple(k) for a, k in state["bound_keys"].items()}
+    )
+    bank.spent_serials.clear()
+    bank.spent_serials.update(
+        (bytes.fromhex(jo), serial) for jo, serial in state["spent_serials"]
+    )
+    bank.transaction_log[:] = [
+        (bytes.fromhex(payer), bytes.fromhex(payee))
+        for payer, payee in state["transactions"]
+    ]
+
+
+@dataclass(frozen=True)
+class PbsAuditReport:
+    """Outcome of a PBS-bank book audit."""
+
+    findings: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def audit_pbs_bank(bank: VirtualBankPbs) -> PbsAuditReport:
+    """Consistency-check the PBS bank's books.
+
+    Checks: no negative balances, every account has a bound key, every
+    transaction-log party is a known account, and the number of
+    transactions matches the number of spent serials (every unitary
+    transfer consumed exactly one serial).
+    """
+    findings: list[str] = []
+    for aid, balance in bank.accounts.items():
+        if balance < 0:
+            findings.append(f"negative balance on account {aid.hex()}")
+        if aid not in bank.bound_keys:
+            findings.append(f"account {aid.hex()} has no bound key")
+    for payer, payee in bank.transaction_log:
+        for party in (payer, payee):
+            if party not in bank.accounts:
+                findings.append(f"transaction references unknown account {party.hex()}")
+    if len(bank.transaction_log) != len(bank.spent_serials):
+        findings.append(
+            f"{len(bank.transaction_log)} transactions vs "
+            f"{len(bank.spent_serials)} spent serials (must match 1:1)"
+        )
+    return PbsAuditReport(findings=tuple(findings))

@@ -1,0 +1,94 @@
+"""Chaum RSA blind signature (paper ref [26]).
+
+The signer holds an RSA key; the requester blinds a message hash with a
+random factor ``r^e``, obtains a signature on the blinded value, and
+unblinds by dividing out ``r``.  The signer learns nothing about which
+message it signed — the property the paper relies on to "obstruct MA's
+sight" when the withdrawn coin later reappears at deposit time.
+
+Flow::
+
+    signer  = BlindSigner(sk)
+    client  = BlindClient(signer.public_key, rng)
+    blinded = client.blind(message)
+    bsig    = signer.sign_blinded(blinded)
+    sig     = client.unblind(bsig)
+    assert verify_blind_signature(signer.public_key, message, sig)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashing import hash_to_range
+from repro.crypto.ntheory import modinv
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
+
+__all__ = [
+    "BlindSigner",
+    "BlindClient",
+    "verify_blind_signature",
+    "message_representative",
+]
+
+
+def message_representative(message: bytes, n: int) -> int:
+    """Full-domain hash of *message* into ``Z_n^*`` for blind signing."""
+    return 2 + hash_to_range(n - 2, b"chaum-blind-fdh", message)
+
+
+@dataclass(frozen=True)
+class BlindSigner:
+    """The signing party (the bank/MA in the paper)."""
+
+    sk: RSAPrivateKey
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self.sk.public
+
+    def sign_blinded(self, blinded: int) -> int:
+        """Sign a blinded representative.  The signer cannot tell what
+        message hides inside — it applies the raw RSA private op."""
+        if not 0 < blinded < self.sk.n:
+            raise ValueError("blinded value out of range")
+        return self.sk.raw_sign(blinded)
+
+
+class BlindClient:
+    """The requesting party; stateful across blind/unblind."""
+
+    def __init__(self, pk: RSAPublicKey, rng: random.Random) -> None:
+        self._pk = pk
+        self._rng = rng
+        self._blinding: int | None = None
+
+    def blind(self, message: bytes) -> int:
+        """Produce the blinded representative ``H(m) * r^e mod n``."""
+        n, e = self._pk.n, self._pk.e
+        while True:
+            r = self._rng.randrange(2, n - 1)
+            try:
+                modinv(r, n)
+            except ValueError:  # astronomically unlikely: shares a factor
+                continue
+            break
+        self._blinding = r
+        return (message_representative(message, n) * pow(r, e, n)) % n
+
+    def unblind(self, blinded_signature: int) -> int:
+        """Remove the blinding factor: ``s' * r^{-1} mod n``."""
+        if self._blinding is None:
+            raise RuntimeError("blind() must be called before unblind()")
+        n = self._pk.n
+        sig = (blinded_signature * modinv(self._blinding, n)) % n
+        self._blinding = None
+        return sig
+
+
+def verify_blind_signature(pk: RSAPublicKey, message: bytes, signature: int) -> bool:
+    """Check ``sig^e == H(m) mod n``."""
+    if not 0 < signature < pk.n:
+        return False
+    return pk.raw_verify(signature) == message_representative(message, pk.n)

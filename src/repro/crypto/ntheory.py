@@ -1,0 +1,273 @@
+"""Number-theoretic substrate: primality, prime generation, modular tools.
+
+Everything the higher layers need is implemented here from scratch:
+
+* Miller–Rabin probabilistic primality testing (with a deterministic
+  small-base fast path for 64-bit inputs),
+* random prime / safe-prime / Sophie-Germain-prime generation,
+* modular inverse, CRT recombination, Jacobi symbol, Tonelli–Shanks
+  square roots,
+* small utilities (``is_probable_prime``, trial division tables).
+
+The module is pure Python on arbitrary-precision ints.  Functions accept
+an explicit ``random.Random`` where randomness is needed so callers stay
+reproducible (see :func:`repro._util.make_rng`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro._util import rand_int_bits
+
+__all__ = [
+    "SMALL_PRIMES",
+    "is_probable_prime",
+    "miller_rabin",
+    "next_prime",
+    "random_prime",
+    "random_safe_prime",
+    "random_sophie_germain_prime",
+    "modinv",
+    "crt",
+    "jacobi",
+    "sqrt_mod_prime",
+    "is_quadratic_residue",
+    "primes_up_to",
+]
+
+
+def _sieve(limit: int) -> list[int]:
+    """Simple sieve of Eratosthenes returning all primes ``<= limit``."""
+    if limit < 2:
+        return []
+    flags = bytearray([1]) * (limit + 1)
+    flags[0] = flags[1] = 0
+    p = 2
+    while p * p <= limit:
+        if flags[p]:
+            flags[p * p :: p] = bytearray(len(flags[p * p :: p]))
+        p += 1
+    return [i for i, f in enumerate(flags) if f]
+
+
+#: Primes below 2000, used for trial division before Miller-Rabin.
+SMALL_PRIMES: tuple[int, ...] = tuple(_sieve(2000))
+
+# Deterministic Miller-Rabin witness sets (Jaeschke / Sorenson-Webster).
+_DETERMINISTIC_BASES_64 = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def primes_up_to(limit: int) -> list[int]:
+    """All primes ``<= limit`` (fresh list; sieve recomputed each call)."""
+    return _sieve(limit)
+
+
+def miller_rabin(n: int, bases: Sequence[int]) -> bool:
+    """Run Miller–Rabin on *n* with the given witness *bases*.
+
+    Returns ``False`` as soon as any base proves compositeness, ``True``
+    if every base passes (i.e. *n* is probably prime).
+    """
+    if n < 2:
+        return False
+    # write n-1 = d * 2^s with d odd
+    d = n - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    for a in bases:
+        a %= n
+        if a in (0, 1, n - 1):
+            continue
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(s - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def is_probable_prime(n: int, rounds: int = 24, rng: random.Random | None = None) -> bool:
+    """Probabilistic primality test.
+
+    Trial-divides by :data:`SMALL_PRIMES`, then runs Miller–Rabin.  For
+    ``n < 2**64`` the deterministic witness set is used, making the
+    answer exact; above that, *rounds* random bases give an error
+    probability ``<= 4**-rounds``.
+    """
+    if n < 2:
+        return False
+    for p in SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    if n < (1 << 64):
+        return miller_rabin(n, _DETERMINISTIC_BASES_64)
+    rng = rng or random
+    bases = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    return miller_rabin(n, bases)
+
+
+def next_prime(n: int) -> int:
+    """Smallest prime strictly greater than *n*."""
+    candidate = max(n + 1, 2)
+    if candidate > 2 and candidate % 2 == 0:
+        candidate += 1
+    while not is_probable_prime(candidate):
+        candidate += 1 if candidate == 2 else 2
+    return candidate
+
+
+def random_prime(bits: int, rng: random.Random, *, congruence: tuple[int, int] | None = None) -> int:
+    """Random prime with exactly *bits* bits.
+
+    When *congruence* ``(r, m)`` is given, the prime additionally
+    satisfies ``p % m == r`` (e.g. ``(3, 4)`` for Tonelli-free square
+    roots, used by the pairing substrate).
+    """
+    if bits < 2:
+        raise ValueError("need at least 2 bits for a prime")
+    while True:
+        candidate = rand_int_bits(rng, bits) | 1
+        if congruence is not None:
+            r, m = congruence
+            candidate += (r - candidate) % m
+            if candidate.bit_length() != bits or candidate < 2:
+                continue
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def random_safe_prime(bits: int, rng: random.Random) -> int:
+    """Random safe prime ``p = 2q + 1`` (*q* prime) with *bits* bits.
+
+    Used for Schnorr-style groups where the subgroup of order *q* has
+    prime order.  This is a rejection-sampling loop; for the bit sizes
+    used in tests (≤ 256) it completes quickly.
+    """
+    if bits < 3:
+        raise ValueError("need at least 3 bits for a safe prime")
+    while True:
+        q = random_prime(bits - 1, rng)
+        p = 2 * q + 1
+        if p.bit_length() == bits and is_probable_prime(p, rng=rng):
+            return p
+
+
+def random_sophie_germain_prime(bits: int, rng: random.Random) -> int:
+    """Random Sophie Germain prime *q* (i.e. ``2q + 1`` is also prime)."""
+    while True:
+        q = random_prime(bits, rng)
+        if is_probable_prime(2 * q + 1, rng=rng):
+            return q
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse of *a* modulo *m*.
+
+    Raises :class:`ValueError` when ``gcd(a, m) != 1``.  Uses Python's
+    built-in extended-gcd path (``pow(a, -1, m)``).
+    """
+    try:
+        return pow(a, -1, m)
+    except ValueError as exc:  # non-invertible
+        raise ValueError(f"{a} is not invertible modulo {m}") from exc
+
+
+def crt(residues: Sequence[int], moduli: Sequence[int]) -> int:
+    """Chinese-remainder recombination for pairwise-coprime *moduli*.
+
+    Returns the unique ``x`` in ``[0, prod(moduli))`` with
+    ``x % moduli[i] == residues[i]`` for all *i*.
+    """
+    if len(residues) != len(moduli):
+        raise ValueError("residues and moduli must have equal length")
+    if not moduli:
+        raise ValueError("need at least one congruence")
+    x, m = residues[0] % moduli[0], moduli[0]
+    for r, n in zip(residues[1:], moduli[1:]):
+        # solve x + m*t ≡ r (mod n)
+        t = ((r - x) * modinv(m, n)) % n
+        x += m * t
+        m *= n
+    return x % m
+
+
+def jacobi(a: int, n: int) -> int:
+    """Jacobi symbol ``(a/n)`` for odd positive *n*."""
+    if n <= 0 or n % 2 == 0:
+        raise ValueError("n must be a positive odd integer")
+    a %= n
+    result = 1
+    while a != 0:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def is_quadratic_residue(a: int, p: int) -> bool:
+    """Whether *a* is a nonzero quadratic residue modulo prime *p*."""
+    a %= p
+    if a == 0:
+        return False
+    return pow(a, (p - 1) // 2, p) == 1
+
+
+def sqrt_mod_prime(a: int, p: int) -> int:
+    """A square root of *a* modulo odd prime *p* (Tonelli–Shanks).
+
+    Raises :class:`ValueError` when *a* is a non-residue.  For
+    ``p % 4 == 3`` the direct exponentiation shortcut is used.
+    """
+    a %= p
+    if a == 0:
+        return 0
+    if p == 2:
+        return a
+    if not is_quadratic_residue(a, p):
+        raise ValueError(f"{a} is not a quadratic residue mod {p}")
+    if p % 4 == 3:
+        return pow(a, (p + 1) // 4, p)
+    # Tonelli–Shanks general case
+    q = p - 1
+    s = 0
+    while q % 2 == 0:
+        q //= 2
+        s += 1
+    # find a non-residue z deterministically
+    z = 2
+    while is_quadratic_residue(z, p):
+        z += 1
+    m = s
+    c = pow(z, q, p)
+    t = pow(a, q, p)
+    r = pow(a, (q + 1) // 2, p)
+    while t != 1:
+        # find least i with t^(2^i) == 1
+        i = 0
+        t2 = t
+        while t2 != 1:
+            t2 = (t2 * t2) % p
+            i += 1
+            if i == m:
+                raise ValueError("square root failure (non-residue slipped through)")
+        b = pow(c, 1 << (m - i - 1), p)
+        m = i
+        c = (b * b) % p
+        t = (t * c) % p
+        r = (r * b) % p
+    return r

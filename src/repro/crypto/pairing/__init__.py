@@ -1,0 +1,47 @@
+"""Bilinear pairing backends.
+
+Two interchangeable backends implement the bilinear-group interface the
+CL-signature layer consumes:
+
+* :class:`~repro.crypto.pairing.tate.TatePairing` — a real reduced Tate
+  pairing on the supersingular curve ``y² = x³ + x`` (Miller's
+  algorithm over :class:`~repro.crypto.pairing.field.Fp2`).
+* :class:`~repro.crypto.pairing.toy.ToyPairing` — the trivial
+  multiplicative→additive map the paper itself suggests; fast and
+  structurally correct but with no hardness.
+
+Use :func:`default_backend` unless a test or bench needs a specific one.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.pairing.curve import CurveParams, Point, generate_curve
+from repro.crypto.pairing.field import Fp2
+from repro.crypto.pairing.tate import TatePairing, miller_loop, tate_pairing
+from repro.crypto.pairing.toy import ToyPairing
+
+__all__ = [
+    "CurveParams",
+    "Point",
+    "Fp2",
+    "TatePairing",
+    "ToyPairing",
+    "miller_loop",
+    "tate_pairing",
+    "generate_curve",
+    "default_backend",
+]
+
+
+def default_backend(rng: random.Random, *, security_bits: int = 64, real: bool = True):
+    """Construct a pairing backend.
+
+    *security_bits* sizes the subgroup order.  With ``real=True`` a Tate
+    backend is generated; otherwise the toy backend (the paper's own
+    shortcut) with a matching-order target group.
+    """
+    if real:
+        return TatePairing(generate_curve(security_bits, rng))
+    return ToyPairing.generate(max(security_bits * 2, 32), rng)

@@ -1,0 +1,193 @@
+"""Supersingular elliptic curve ``y^2 = x^3 + x`` over F_p, p ≡ 3 (mod 4).
+
+For such *p* the curve is supersingular with exactly ``p + 1`` points,
+and the *distortion map* ``ψ(x, y) = (-x, i*y)`` sends F_p-rational
+points to points defined over ``F_{p^2}`` that are linearly independent
+of them — which is what makes the symmetric Tate pairing
+``ê(P, Q) = e(P, ψ(Q))`` non-degenerate (see
+:mod:`repro.crypto.pairing.tate`).
+
+Points carry their coordinates as :class:`~repro.crypto.pairing.field.Fp2`
+elements even when F_p-rational, so the group law is written once.  The
+point at infinity is the singleton :data:`Point.INFINITY` sentinel per
+curve (``is_infinity`` flag).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.ntheory import is_probable_prime, random_prime, sqrt_mod_prime
+from repro.crypto.pairing.field import Fp2
+
+__all__ = ["CurveParams", "Point", "generate_curve"]
+
+
+@dataclass(frozen=True)
+class CurveParams:
+    """Parameters of the pairing group.
+
+    Attributes
+    ----------
+    p:
+        Field characteristic, ``p ≡ 3 (mod 4)``.
+    r:
+        Prime order of the pairing subgroup.
+    cofactor:
+        ``(p + 1) // r``.
+    generator:
+        A point of exact order *r* in ``E(F_p)``.
+    """
+
+    p: int
+    r: int
+    cofactor: int
+    generator: "Point"
+
+    def __post_init__(self) -> None:
+        if self.p % 4 != 3:
+            raise ValueError("p must be ≡ 3 (mod 4) for the supersingular curve")
+        if (self.p + 1) != self.r * self.cofactor:
+            raise ValueError("r * cofactor must equal p + 1 (the curve order)")
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point on ``y^2 = x^3 + x`` with F_{p^2} coordinates."""
+
+    x: Fp2
+    y: Fp2
+    p: int
+    is_infinity: bool = False
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def infinity(cls, p: int) -> "Point":
+        zero = Fp2.zero(p)
+        return cls(zero, zero, p, is_infinity=True)
+
+    @classmethod
+    def from_base(cls, x: int, y: int, p: int) -> "Point":
+        """Build an F_p-rational point from int coordinates (validated)."""
+        pt = cls(Fp2.from_base(x, p), Fp2.from_base(y, p), p)
+        if not pt.on_curve():
+            raise ValueError(f"({x}, {y}) is not on y^2 = x^3 + x over F_{p}")
+        return pt
+
+    # -- predicates ----------------------------------------------------------
+    def on_curve(self) -> bool:
+        if self.is_infinity:
+            return True
+        lhs = self.y * self.y
+        rhs = self.x * self.x * self.x + self.x
+        return lhs == rhs
+
+    def is_base_field(self) -> bool:
+        """Whether both coordinates lie in F_p."""
+        return self.is_infinity or (self.x.b == 0 and self.y.b == 0)
+
+    # -- group law -----------------------------------------------------------
+    def __neg__(self) -> "Point":
+        if self.is_infinity:
+            return self
+        return Point(self.x, -self.y, self.p)
+
+    def __add__(self, other: "Point") -> "Point":
+        if self.p != other.p:
+            raise ValueError("curve mismatch")
+        if self.is_infinity:
+            return other
+        if other.is_infinity:
+            return self
+        if self.x == other.x:
+            if self.y == -other.y:
+                return Point.infinity(self.p)
+            # doubling: λ = (3x^2 + 1) / 2y   (curve a-coefficient is 1)
+            num = self.x * self.x
+            num = num.scalar_mul(3) + Fp2.one(self.p)
+            lam = num / self.y.scalar_mul(2)
+        else:
+            lam = (other.y - self.y) / (other.x - self.x)
+        x3 = lam * lam - self.x - other.x
+        y3 = lam * (self.x - x3) - self.y
+        return Point(x3, y3, self.p)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return self + (-other)
+
+    def multiply(self, k: int) -> "Point":
+        """Scalar multiplication by square-and-add (k may be negative)."""
+        if k < 0:
+            return (-self).multiply(-k)
+        result = Point.infinity(self.p)
+        addend = self
+        while k:
+            if k & 1:
+                result = result + addend
+            addend = addend + addend
+            k >>= 1
+        return result
+
+    def distort(self) -> "Point":
+        """Distortion map ``ψ(x, y) = (-x, i*y)``.
+
+        Maps an F_p-rational point to one over F_{p^2}; the image is on
+        the curve because ``(-x)^3 + (-x) = -(x^3 + x) = -y^2 = (i y)^2``.
+        """
+        if self.is_infinity:
+            return self
+        ix_y = Fp2(-self.y.b, self.y.a, self.p)  # i * y
+        return Point(-self.x, ix_y, self.p)
+
+    def encode(self) -> tuple[int, int, int, int, bool]:
+        """Canonical hashable encoding (for transcripts and dict keys)."""
+        return (self.x.a, self.x.b, self.y.a, self.y.b, self.is_infinity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_infinity:
+            return "Point(infinity)"
+        return f"Point({self.x!r}, {self.y!r})"
+
+
+def _random_base_point(p: int, rng: random.Random) -> Point:
+    """Uniform-ish F_p-rational point: sample x until x^3+x is a square."""
+    while True:
+        x = rng.randrange(1, p)
+        rhs = (x * x * x + x) % p
+        if rhs == 0:
+            continue
+        if pow(rhs, (p - 1) // 2, p) != 1:
+            continue
+        y = sqrt_mod_prime(rhs, p)
+        if rng.getrandbits(1):
+            y = p - y
+        return Point.from_base(x, y, p)
+
+
+def generate_curve(r_bits: int, rng: random.Random, *, max_cofactor: int = 1 << 24) -> CurveParams:
+    """Generate pairing parameters with an *r_bits*-bit subgroup order.
+
+    Picks a random odd prime *r* and searches even cofactors *c* until
+    ``p = c*r - 1`` is a prime ≡ 3 (mod 4); then clears the cofactor off
+    random points until one of exact order *r* appears.
+    """
+    if r_bits < 4:
+        raise ValueError("subgroup order too small")
+    while True:
+        r = random_prime(r_bits, rng)
+        if r == 2:
+            continue
+        c = 4
+        while c < max_cofactor:
+            p = c * r - 1
+            if p % 4 == 3 and is_probable_prime(p):
+                # find a point of exact order r
+                for _ in range(64):
+                    pt = _random_base_point(p, rng).multiply(c)
+                    if not pt.is_infinity:
+                        if not pt.multiply(r).is_infinity:
+                            raise AssertionError("cofactor clearing failed (order bug)")
+                        return CurveParams(p=p, r=r, cofactor=c, generator=pt)
+            c += 4  # keep p ≡ 3 (mod 4): c*r - 1 with c ≡ 0 (mod 4), r odd
+        # no cofactor worked for this r — resample r

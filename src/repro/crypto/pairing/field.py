@@ -1,0 +1,115 @@
+"""Quadratic extension field arithmetic for the pairing substrate.
+
+The Tate pairing on our supersingular curve takes values in
+``F_{p^2} = F_p[i] / (i^2 + 1)``, which is a field exactly when
+``p ≡ 3 (mod 4)`` (then ``-1`` is a non-residue).  Elements are
+represented as ``a + b*i`` with ``a, b ∈ F_p``.
+
+:class:`Fp2` instances are immutable value objects; all arithmetic
+returns new elements.  Base-field elements are plain ints reduced
+mod *p* — keeping them unboxed is a deliberate performance choice
+(Miller's loop does thousands of base-field multiplies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.ntheory import modinv
+
+__all__ = ["Fp2"]
+
+
+@dataclass(frozen=True)
+class Fp2:
+    """An element ``a + b*i`` of ``F_p[i]/(i^2+1)``."""
+
+    a: int
+    b: int
+    p: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "a", self.a % self.p)
+        object.__setattr__(self, "b", self.b % self.p)
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def one(cls, p: int) -> "Fp2":
+        return cls(1, 0, p)
+
+    @classmethod
+    def zero(cls, p: int) -> "Fp2":
+        return cls(0, 0, p)
+
+    @classmethod
+    def from_base(cls, a: int, p: int) -> "Fp2":
+        """Embed a base-field element as ``a + 0*i``."""
+        return cls(a, 0, p)
+
+    # -- predicates --------------------------------------------------------
+    def is_zero(self) -> bool:
+        return self.a == 0 and self.b == 0
+
+    def is_one(self) -> bool:
+        return self.a == 1 and self.b == 0
+
+    # -- arithmetic ----------------------------------------------------------
+    def _check(self, other: "Fp2") -> None:
+        if self.p != other.p:
+            raise ValueError("field mismatch")
+
+    def __add__(self, other: "Fp2") -> "Fp2":
+        self._check(other)
+        return Fp2(self.a + other.a, self.b + other.b, self.p)
+
+    def __sub__(self, other: "Fp2") -> "Fp2":
+        self._check(other)
+        return Fp2(self.a - other.a, self.b - other.b, self.p)
+
+    def __neg__(self) -> "Fp2":
+        return Fp2(-self.a, -self.b, self.p)
+
+    def __mul__(self, other: "Fp2") -> "Fp2":
+        self._check(other)
+        # (a + bi)(c + di) = (ac - bd) + (ad + bc) i   since i^2 = -1
+        a, b, c, d, p = self.a, self.b, other.a, other.b, self.p
+        return Fp2(a * c - b * d, a * d + b * c, p)
+
+    def scalar_mul(self, k: int) -> "Fp2":
+        """Multiply by a base-field scalar."""
+        return Fp2(self.a * k, self.b * k, self.p)
+
+    def conjugate(self) -> "Fp2":
+        """``a - b*i`` — also the Frobenius ``x -> x^p`` in this field."""
+        return Fp2(self.a, -self.b, self.p)
+
+    def norm(self) -> int:
+        """Field norm ``a^2 + b^2`` into F_p."""
+        return (self.a * self.a + self.b * self.b) % self.p
+
+    def inverse(self) -> "Fp2":
+        """Multiplicative inverse via the norm map."""
+        if self.is_zero():
+            raise ZeroDivisionError("inverse of zero in F_p^2")
+        n_inv = modinv(self.norm(), self.p)
+        return Fp2(self.a * n_inv, -self.b * n_inv, self.p)
+
+    def __truediv__(self, other: "Fp2") -> "Fp2":
+        return self * other.inverse()
+
+    def pow(self, exponent: int) -> "Fp2":
+        """Square-and-multiply exponentiation (negative exponents allowed)."""
+        if exponent < 0:
+            return self.inverse().pow(-exponent)
+        result = Fp2.one(self.p)
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Fp2({self.a} + {self.b}i mod {self.p})"

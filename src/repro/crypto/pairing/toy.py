@@ -1,0 +1,85 @@
+"""The paper's "easy to find" bilinear map backend.
+
+Section VI-B of the paper notes that instead of a cryptographic pairing
+"it's also acceptable if anyone wants to map the multiplicative group
+into an additive group, in this case, a bilinear map is very easy to
+find, and the correctness of signature will still hold."  This module
+is that construction: the source group is ``(Z_r, +)`` written through
+the same interface as the Tate backend, and
+
+    e(a, b) = g_T ^ (a * b mod r)
+
+with ``g_T`` a fixed generator of a multiplicative target group.  The
+map is bilinear and non-degenerate, so every CL-signature identity
+holds — but discrete logs in the source group are trivial, so it offers
+**no security**.  It exists (a) to mirror the paper's own shortcut, (b)
+as a fast backend for protocol-level tests and benches where pairing
+cost would drown the signal, and (c) as an oracle for differential
+testing of the Tate backend.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.groups import SchnorrGroup
+
+__all__ = ["ToyPairing"]
+
+
+class ToyPairing:
+    """Structurally correct, intentionally insecure bilinear group.
+
+    Source-group elements are ints mod *r* (exponents in disguise);
+    target-group elements are elements of a Schnorr group of order *r*.
+    """
+
+    name = "toy"
+
+    def __init__(self, target: SchnorrGroup) -> None:
+        self.target = target
+        self.order = target.q
+        self.g = 1  # the additive generator of Z_r
+
+    @classmethod
+    def generate(cls, bits: int, rng: random.Random) -> "ToyPairing":
+        """Build a toy backend whose target group has *bits*-bit modulus."""
+        return cls(SchnorrGroup.generate(bits, rng))
+
+    # -- source group -------------------------------------------------------
+    def exp(self, base: int, scalar: int) -> int:
+        return (base * scalar) % self.order
+
+    def mul(self, a: int, b: int) -> int:
+        return (a + b) % self.order
+
+    def identity(self) -> int:
+        return 0
+
+    def random_scalar(self, rng: random.Random) -> int:
+        return rng.randrange(1, self.order)
+
+    def random_element(self, rng: random.Random) -> int:
+        return rng.randrange(1, self.order)
+
+    def element_encode(self, a: int) -> tuple:
+        return (a,)
+
+    # -- pairing / target group ----------------------------------------------
+    def pair(self, a: int, b: int) -> int:
+        return self.target.power((a * b) % self.order)
+
+    def gt_mul(self, a: int, b: int) -> int:
+        return self.target.mul(a, b)
+
+    def gt_exp(self, a: int, scalar: int) -> int:
+        return self.target.exp(a, scalar)
+
+    def gt_eq(self, a: int, b: int) -> bool:
+        return a == b
+
+    def gt_one(self) -> int:
+        return 1
+
+    def gt_generator(self) -> int:
+        return self.target.power(1)

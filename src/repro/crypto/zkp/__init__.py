@@ -1,0 +1,43 @@
+"""Zero-knowledge proof toolbox (all Fiat–Shamir non-interactive).
+
+* :mod:`~repro.crypto.zkp.schnorr` — PoK of a discrete logarithm,
+* :mod:`~repro.crypto.zkp.representation` — PoK of a representation,
+* :mod:`~repro.crypto.zkp.double_log` — Stadler double-discrete-log
+  (cut-and-choose),
+* :mod:`~repro.crypto.zkp.or_proof` — CDS OR-composition.
+
+These are precisely the four proof types Section VI-C of the paper
+lists, combined as needed by the divisible e-cash spend protocol.
+"""
+
+from repro.crypto.zkp.double_log import DoubleLogProof, prove_double_log, verify_double_log
+from repro.crypto.zkp.or_proof import OrProof, prove_or, verify_or
+from repro.crypto.zkp.representation import (
+    RepresentationProof,
+    prove_representation,
+    verify_representation,
+)
+from repro.crypto.zkp.schnorr import (
+    SchnorrProof,
+    prove_dlog,
+    prove_dlog_generic,
+    verify_dlog,
+    verify_dlog_generic,
+)
+
+__all__ = [
+    "SchnorrProof",
+    "prove_dlog",
+    "verify_dlog",
+    "prove_dlog_generic",
+    "verify_dlog_generic",
+    "RepresentationProof",
+    "prove_representation",
+    "verify_representation",
+    "DoubleLogProof",
+    "prove_double_log",
+    "verify_double_log",
+    "OrProof",
+    "prove_or",
+    "verify_or",
+]

@@ -1,0 +1,122 @@
+"""OR-composition of Schnorr statements (CDS proofs, paper refs [37][38]).
+
+Statement: "I know the discrete log of *at least one* of
+``Y_1, ..., Y_n`` to the base *g*" — without revealing which.  The
+divisible e-cash spend step uses this shape to show a revealed node key
+is consistent with one of the tree positions without identifying it.
+
+Standard Cramer–Damgård–Schoenmakers construction: the prover simulates
+every branch it has no witness for (random challenge + response, derive
+the commitment backwards), commits honestly on the known branch, and
+splits the Fiat–Shamir challenge so all branch challenges sum to it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto.groups import SchnorrGroup
+from repro.crypto.hashing import Transcript
+
+__all__ = ["OrProof", "prove_or", "verify_or"]
+
+
+@dataclass(frozen=True)
+class OrProof:
+    """An n-branch OR proof: per-branch (commitment, challenge, response).
+
+    Branch challenges must sum (mod q) to the transcript challenge.
+    """
+
+    commitments: tuple[int, ...]
+    challenges: tuple[int, ...]
+    responses: tuple[int, ...]
+
+    @property
+    def branches(self) -> int:
+        return len(self.commitments)
+
+    def encoded_size(self, element_bytes: int, scalar_bytes: int) -> int:
+        """Wire size estimate used by the Table II accounting."""
+        return self.branches * (element_bytes + 2 * scalar_bytes)
+
+
+def prove_or(
+    group: SchnorrGroup,
+    base: int,
+    statements: Sequence[int],
+    known_index: int,
+    witness: int,
+    rng: random.Random,
+    transcript: Transcript,
+) -> OrProof:
+    """Prove knowledge of the DL of ``statements[known_index]``.
+
+    The other branches are simulated; the verifier cannot tell which
+    branch was real (witness indistinguishability).
+    """
+    n = len(statements)
+    if not 0 <= known_index < n:
+        raise IndexError("known_index out of range")
+    if group.exp(base, witness) != statements[known_index] % group.p:
+        raise ValueError("witness does not satisfy the claimed statement")
+
+    commitments = [0] * n
+    challenges = [0] * n
+    responses = [0] * n
+
+    # simulate all branches except the known one
+    for i in range(n):
+        if i == known_index:
+            continue
+        challenges[i] = rng.randrange(group.q)
+        responses[i] = rng.randrange(group.q)
+        # R_i = base^{s_i} * Y_i^{-e_i}
+        commitments[i] = group.mul(
+            group.exp(base, responses[i]),
+            group.inv(group.exp(statements[i], challenges[i])),
+        )
+
+    # honest commitment on the known branch
+    k = group.random_exponent(rng)
+    commitments[known_index] = group.exp(base, k)
+
+    transcript.absorb_ints(base, *statements, *commitments)
+    total = transcript.challenge(group.q)
+    challenges[known_index] = (total - sum(challenges)) % group.q
+    responses[known_index] = (k + challenges[known_index] * witness) % group.q
+
+    return OrProof(
+        commitments=tuple(commitments),
+        challenges=tuple(challenges),
+        responses=tuple(responses),
+    )
+
+
+def verify_or(
+    group: SchnorrGroup,
+    base: int,
+    statements: Sequence[int],
+    proof: OrProof,
+    transcript: Transcript,
+) -> bool:
+    """Verify an OR proof: challenge split + per-branch Schnorr equation."""
+    n = len(statements)
+    if proof.branches != n or len(proof.challenges) != n or len(proof.responses) != n:
+        return False
+    if n == 0:
+        return False
+    if not all(group.contains(c) for c in proof.commitments):
+        return False
+    transcript.absorb_ints(base, *statements, *proof.commitments)
+    total = transcript.challenge(group.q)
+    if sum(proof.challenges) % group.q != total:
+        return False
+    for y, r_commit, e, s in zip(statements, proof.commitments, proof.challenges, proof.responses):
+        lhs = group.exp(base, s)
+        rhs = group.mul(r_commit, group.exp(y, e))
+        if lhs != rhs:
+            return False
+    return True

@@ -1,0 +1,86 @@
+"""Proof of knowledge of a representation (paper ref [35]).
+
+Statement: "I know exponents ``x_1 .. x_k`` with
+``C = base_1^{x_1} * ... * base_k^{x_k}``" over a
+:class:`~repro.crypto.groups.SchnorrGroup`.  This generalizes Schnorr
+(``k = 1``) and is the proof the coin commitments in the divisible
+e-cash scheme need (a coin commits to its serial secret *and* a
+blinding exponent under two independent bases).
+
+Sigma protocol: commit ``R = Π base_i^{k_i}``, challenge *e*, responses
+``s_i = k_i + e x_i``; verification checks
+``Π base_i^{s_i} == R * C^e``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.crypto.groups import SchnorrGroup
+from repro.crypto.hashing import Transcript
+
+__all__ = ["RepresentationProof", "prove_representation", "verify_representation"]
+
+
+@dataclass(frozen=True)
+class RepresentationProof:
+    """Non-interactive representation proof."""
+
+    commitment: int
+    responses: tuple[int, ...]
+
+    def encoded_size(self, element_bytes: int, scalar_bytes: int) -> int:
+        """Wire size estimate used by the Table II accounting."""
+        return element_bytes + scalar_bytes * len(self.responses)
+
+
+def prove_representation(
+    group: SchnorrGroup,
+    bases: Sequence[int],
+    statement: int,
+    witnesses: Sequence[int],
+    rng: random.Random,
+    transcript: Transcript,
+) -> RepresentationProof:
+    """Prove knowledge of a representation of *statement* in *bases*."""
+    if len(bases) != len(witnesses):
+        raise ValueError("bases and witnesses must align")
+    if not bases:
+        raise ValueError("need at least one base")
+    check = 1
+    for base, w in zip(bases, witnesses):
+        check = group.mul(check, group.exp(base, w))
+    if check != statement % group.p:
+        raise ValueError("witnesses do not satisfy the statement")
+
+    nonces = [group.random_exponent(rng) for _ in bases]
+    commitment = 1
+    for base, k in zip(bases, nonces):
+        commitment = group.mul(commitment, group.exp(base, k))
+    transcript.absorb_ints(*bases, statement, commitment)
+    e = transcript.challenge(group.q)
+    responses = tuple((k + e * w) % group.q for k, w in zip(nonces, witnesses))
+    return RepresentationProof(commitment=commitment, responses=responses)
+
+
+def verify_representation(
+    group: SchnorrGroup,
+    bases: Sequence[int],
+    statement: int,
+    proof: RepresentationProof,
+    transcript: Transcript,
+) -> bool:
+    """Verify a :func:`prove_representation` proof."""
+    if len(proof.responses) != len(bases):
+        return False
+    if not group.contains(proof.commitment):
+        return False
+    transcript.absorb_ints(*bases, statement, proof.commitment)
+    e = transcript.challenge(group.q)
+    lhs = 1
+    for base, s in zip(bases, proof.responses):
+        lhs = group.mul(lhs, group.exp(base, s))
+    rhs = group.mul(proof.commitment, group.exp(statement, e))
+    return lhs == rhs

@@ -1,0 +1,159 @@
+"""Publishing and loading DEC public parameters.
+
+The MA runs ``Setup(DEC)`` once and "publish[es] its public key as well
+as the public parameters of the DEC to all market residents" (paper
+Section IV-A1).  Publication needs a wire format: this module
+serializes a :class:`~repro.ecash.spend.DECParams` (group tower,
+pairing backend, sizes) plus the bank's CL public key into one signed-
+length blob through the canonical codec, and reconstructs a functional
+parameter set on the resident side.
+
+Both pairing backends round-trip: the Tate backend by its curve
+parameters (the generator point pins the exact subgroup), the toy
+backend by its target Schnorr group.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.cl_sig import CLPublicKey
+from repro.crypto.cunningham import CunninghamChain
+from repro.crypto.groups import GroupTower, SchnorrGroup
+from repro.crypto.hashing import sha256
+from repro.crypto.pairing import CurveParams, Point, TatePairing, ToyPairing
+from repro.ecash.spend import DECParams
+
+from repro.net.codec import decode, encode
+
+__all__ = ["ParamsError", "export_params", "import_params"]
+
+_MAGIC = b"repro-dec-params-v1"
+
+
+class ParamsError(Exception):
+    """Parameter blob rejected (corruption, version, inconsistency)."""
+
+
+def _export_backend(backend) -> dict:
+    if isinstance(backend, TatePairing):
+        g = backend.params.generator
+        return {
+            "kind": "tate",
+            "p": backend.params.p,
+            "r": backend.params.r,
+            "cofactor": backend.params.cofactor,
+            "gx": g.x.a,
+            "gy": g.y.a,
+        }
+    if isinstance(backend, ToyPairing):
+        t = backend.target
+        return {"kind": "toy", "p": t.p, "q": t.q, "g": t.g}
+    raise ParamsError(f"unknown backend type {type(backend)!r}")
+
+
+def _import_backend(data: dict):
+    if data["kind"] == "tate":
+        generator = Point.from_base(data["gx"], data["gy"], data["p"])
+        params = CurveParams(
+            p=data["p"], r=data["r"], cofactor=data["cofactor"], generator=generator
+        )
+        if not generator.multiply(params.r).is_infinity:
+            raise ParamsError("published generator does not have the claimed order")
+        return TatePairing(params)
+    if data["kind"] == "toy":
+        return ToyPairing(SchnorrGroup(p=data["p"], q=data["q"], g=data["g"]))
+    raise ParamsError(f"unknown backend kind {data['kind']!r}")
+
+
+def export_params(params: DECParams, bank_pk: CLPublicKey | None = None) -> bytes:
+    """Serialize public parameters (optionally with the bank key)."""
+    backend = params.backend
+    state = {
+        "tree_level": params.tree_level,
+        "edge_rounds": params.edge_rounds,
+        "chain_start": params.tower.chain.start,
+        "chain_length": params.tower.chain.length,
+        "levels": [
+            {"p": grp.p, "q": grp.q, "g": grp.g} for grp in params.tower.levels
+        ],
+        "generators": [list(gens) for gens in params.tower.extra_generators],
+        "backend": _export_backend(backend),
+        "bank_pk": (
+            None
+            if bank_pk is None
+            else [list(map(int, backend.element_encode(bank_pk.X))),
+                  list(map(int, backend.element_encode(bank_pk.Y)))]
+        ),
+    }
+    body = encode(state)
+    return _MAGIC + sha256(_MAGIC, body) + body
+
+
+def import_params(blob: bytes) -> tuple[DECParams, CLPublicKey | None]:
+    """Reconstruct parameters (and the bank key, when published).
+
+    Every structural invariant is revalidated — a malicious MA cannot
+    ship a tower whose storeys do not chain, a generator of the wrong
+    order, or a pairing subgroup too small for the coin secrets.
+    """
+    if not blob.startswith(_MAGIC):
+        raise ParamsError("not a parameter blob (bad magic)")
+    digest, body = blob[len(_MAGIC) : len(_MAGIC) + 32], blob[len(_MAGIC) + 32 :]
+    if sha256(_MAGIC, body) != digest:
+        raise ParamsError("parameter blob integrity digest mismatch")
+    try:
+        state = decode(body)
+    except ValueError as exc:
+        raise ParamsError(f"parameter blob undecodable: {exc}") from exc
+
+    try:
+        levels = tuple(
+            SchnorrGroup(p=lvl["p"], q=lvl["q"], g=lvl["g"]) for lvl in state["levels"]
+        )
+    except ValueError as exc:
+        raise ParamsError(f"invalid tower storey: {exc}") from exc
+    tower = GroupTower(
+        chain=CunninghamChain(state["chain_start"], state["chain_length"]),
+        levels=levels,
+        extra_generators=tuple(tuple(g) for g in state["generators"]),
+    )
+    if not tower.verify():
+        raise ParamsError("tower storeys do not form a Cunningham chain")
+    for storey, gens in enumerate(tower.extra_generators):
+        grp = tower.group(storey)
+        if not all(grp.contains(g) and g != 1 for g in gens):
+            raise ParamsError(f"storey {storey} generator outside the subgroup")
+
+    backend = _import_backend(state["backend"])
+    try:
+        params = DECParams(
+            tower=tower,
+            backend=backend,
+            tree_level=state["tree_level"],
+            edge_rounds=state["edge_rounds"],
+        )
+    except ValueError as exc:
+        raise ParamsError(f"inconsistent parameters: {exc}") from exc
+
+    bank_pk = None
+    if state["bank_pk"] is not None:
+        x_enc, y_enc = state["bank_pk"]
+        bank_pk = CLPublicKey(
+            X=_decode_element(backend, x_enc), Y=_decode_element(backend, y_enc)
+        )
+    return params, bank_pk
+
+
+def _decode_element(backend, encoded: list[int]):
+    if isinstance(backend, ToyPairing):
+        return encoded[0]
+    # Tate: (x.a, x.b, y.a, y.b, is_infinity)
+    from repro.crypto.pairing.field import Fp2
+
+    xa, xb, ya, yb, inf = encoded
+    p = backend.params.p
+    if inf:
+        return Point.infinity(p)
+    point = Point(Fp2(xa, xb, p), Fp2(ya, yb, p), p)
+    if not point.on_curve():
+        raise ParamsError("published bank key is not on the curve")
+    return point

@@ -1,0 +1,108 @@
+"""Coin wallets: allocation of unspent tree nodes.
+
+A withdrawn coin of value ``2^L`` can be spent piecewise as tree nodes;
+the wallet is the spender's local bookkeeping that (a) never allocates
+conflicting nodes and (b) serves each requested denomination from an
+available node — a classic *buddy allocator* over the coin tree.
+
+The wallet is pure state; the cryptographic spend itself happens in
+:mod:`repro.ecash.spend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ecash.tree import CoinTree, NodeId
+
+__all__ = ["Wallet", "InsufficientFunds"]
+
+
+class InsufficientFunds(Exception):
+    """Raised when no unspent node can cover a requested denomination."""
+
+
+@dataclass
+class Wallet:
+    """Spend-side state of one divisible coin.
+
+    Attributes
+    ----------
+    tree:
+        The static coin-tree shape.
+    secret:
+        The coin secret *s* certified by the bank's blind CL signature.
+    spent:
+        Nodes already allocated to payments.
+    """
+
+    tree: CoinTree
+    secret: int
+    spent: set[NodeId] = field(default_factory=set)
+
+    # -- balance ----------------------------------------------------------
+    @property
+    def total_value(self) -> int:
+        return self.tree.total_value
+
+    @property
+    def spent_value(self) -> int:
+        return sum(node.value(self.tree.level) for node in self.spent)
+
+    @property
+    def balance(self) -> int:
+        return self.total_value - self.spent_value
+
+    # -- queries ------------------------------------------------------------
+    def is_available(self, node: NodeId) -> bool:
+        """Whether *node* conflicts with nothing already spent."""
+        if node.level > self.tree.level:
+            return False
+        return not any(node.conflicts_with(used) for used in self.spent)
+
+    def available_nodes(self, level: int) -> list[NodeId]:
+        """All still-available nodes at the given *level*."""
+        return [n for n in self.tree.nodes_at(level) if self.is_available(n)]
+
+    # -- allocation ----------------------------------------------------------
+    def allocate(self, denomination: int) -> NodeId:
+        """Reserve one node of the given power-of-two *denomination*.
+
+        Prefers the lowest-index available node (deterministic for
+        tests); raises :class:`InsufficientFunds` when fragmentation or
+        balance rules it out.
+        """
+        if denomination <= 0 or denomination & (denomination - 1):
+            raise ValueError("denomination must be a positive power of two")
+        if denomination > self.total_value:
+            raise InsufficientFunds(
+                f"denomination {denomination} exceeds coin value {self.total_value}"
+            )
+        level = self.tree.level - denomination.bit_length() + 1
+        for node in self.tree.nodes_at(level):
+            if self.is_available(node):
+                self.spent.add(node)
+                return node
+        raise InsufficientFunds(f"no available node for denomination {denomination}")
+
+    def allocate_amount(self, denominations: list[int]) -> list[NodeId]:
+        """Reserve nodes for a full cash-break plan, atomically.
+
+        Either every denomination is served or the wallet is left
+        untouched and :class:`InsufficientFunds` propagates.
+        """
+        allocated: list[NodeId] = []
+        try:
+            for denom in denominations:
+                if denom == 0:
+                    continue  # fake-coin placeholder, nothing to reserve
+                allocated.append(self.allocate(denom))
+        except InsufficientFunds:
+            for node in allocated:
+                self.spent.discard(node)
+            raise
+        return allocated
+
+    def release(self, node: NodeId) -> None:
+        """Return a reserved node to the pool (e.g. failed delivery)."""
+        self.spent.discard(node)

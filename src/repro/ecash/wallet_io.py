@@ -1,0 +1,73 @@
+"""Spender-side persistence: save and restore coins with their wallets.
+
+A job owner holding withdrawn coins must survive a restart without
+double-spending its own nodes (re-paying an already-spent node is
+caught by the bank — after the payee was already given a dud).  This
+module serializes the complete spend-side state — coin secrets, the
+bank's CL signatures, and each wallet's spent-node set — through the
+canonical codec with an integrity digest, mirroring the bank-side
+:mod:`repro.core.ledger`.
+
+The blob contains coin secrets: it is as sensitive as cash.  Protect it
+like a wallet file (the integrity digest detects corruption, not
+theft).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashing import sha256
+from repro.ecash.dec import Coin
+from repro.ecash.tree import CoinTree, NodeId
+from repro.ecash.wallet import Wallet
+from repro.net.codec import decode, encode
+
+__all__ = ["WalletSnapshotError", "snapshot_coins", "restore_coins"]
+
+_MAGIC = b"repro-wallet-snapshot-v1"
+
+
+class WalletSnapshotError(Exception):
+    """Wallet blob rejected (corruption, version)."""
+
+
+def snapshot_coins(coins: list[tuple[Coin, Wallet]]) -> bytes:
+    """Serialize a spender's coins and their allocation state."""
+    state = {
+        "coins": [
+            {
+                "secret": coin.secret,
+                "signature": coin.signature,
+                "level": coin.level,
+                "spent": sorted(wallet.spent),
+            }
+            for coin, wallet in coins
+        ],
+    }
+    body = encode(state)
+    return _MAGIC + sha256(_MAGIC, body) + body
+
+
+def restore_coins(blob: bytes) -> list[tuple[Coin, Wallet]]:
+    """Reconstruct coins + wallets from a snapshot blob."""
+    if not blob.startswith(_MAGIC):
+        raise WalletSnapshotError("not a wallet snapshot (bad magic)")
+    digest, body = blob[len(_MAGIC) : len(_MAGIC) + 32], blob[len(_MAGIC) + 32 :]
+    if sha256(_MAGIC, body) != digest:
+        raise WalletSnapshotError("wallet snapshot integrity digest mismatch")
+    try:
+        state = decode(body)
+    except ValueError as exc:
+        raise WalletSnapshotError(f"wallet snapshot undecodable: {exc}") from exc
+    out: list[tuple[Coin, Wallet]] = []
+    for entry in state["coins"]:
+        coin = Coin(secret=entry["secret"], signature=entry["signature"],
+                    level=entry["level"])
+        wallet = Wallet(tree=CoinTree(entry["level"]), secret=entry["secret"])
+        for node in entry["spent"]:
+            if not isinstance(node, NodeId):
+                raise WalletSnapshotError("corrupt spent-node entry")
+            if not wallet.is_available(node):
+                raise WalletSnapshotError("overlapping spent nodes in snapshot")
+            wallet.spent.add(node)
+        out.append((coin, wallet))
+    return out

@@ -1,0 +1,30 @@
+"""Instrumentation: operation counters, traffic meters, timing harness.
+
+These three modules back the paper's evaluation artifacts: Table I
+(:mod:`~repro.metrics.opcount`), Table II (:mod:`~repro.metrics.traffic`)
+and the timing methodology of Figs. 2–5 (:mod:`~repro.metrics.timing`).
+"""
+
+from repro.metrics.opcount import OPS, OpCounter, format_table
+from repro.metrics.parallel import SweepPoint, default_processes, sweep
+from repro.metrics.series import FigureData, Series, render_ascii_plot, render_table
+from repro.metrics.timing import Stopwatch, TimingResult, time_operation
+from repro.metrics.traffic import TrafficMeter, format_traffic_table
+
+__all__ = [
+    "OpCounter",
+    "OPS",
+    "format_table",
+    "TrafficMeter",
+    "format_traffic_table",
+    "TimingResult",
+    "time_operation",
+    "Stopwatch",
+    "sweep",
+    "SweepPoint",
+    "default_processes",
+    "Series",
+    "FigureData",
+    "render_table",
+    "render_ascii_plot",
+]

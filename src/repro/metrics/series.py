@@ -1,0 +1,115 @@
+"""Series capture and terminal rendering for the paper's figures.
+
+The benches regenerate the paper's figures as *series* — (x, y) points
+per labelled curve.  This module gives them a tiny, dependency-free way
+to accumulate those series and render them the way a paper reader would
+want to eyeball them in a terminal: an aligned table plus an ASCII
+scatter (log-scale aware for Fig. 2's explosive curve).
+
+Nothing here knows about pytest or benchmarks; examples and the CLI use
+it too.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Series", "FigureData", "render_table", "render_ascii_plot"]
+
+
+@dataclass
+class Series:
+    """One labelled curve."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    def xs(self) -> list[float]:
+        return [p[0] for p in self.points]
+
+    def ys(self) -> list[float]:
+        return [p[1] for p in self.points]
+
+
+@dataclass
+class FigureData:
+    """A figure: title, axis names, several series."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+
+    def new_series(self, label: str) -> Series:
+        s = Series(label)
+        self.series.append(s)
+        return s
+
+    def all_points(self) -> list[tuple[float, float]]:
+        return [p for s in self.series for p in s.points]
+
+
+def render_table(figure: FigureData, *, precision: int = 3) -> str:
+    """Aligned x/series table — the 'rows the paper reports'."""
+    xs = sorted({x for s in figure.series for x, _ in s.points})
+    header = [figure.xlabel] + [s.label for s in figure.series]
+    widths = [max(10, len(h) + 2) for h in header]
+    lines = [figure.title]
+    lines.append("".join(h.rjust(w) for h, w in zip(header, widths)))
+    lines.append("-" * sum(widths))
+    for x in xs:
+        row = [f"{x:g}".rjust(widths[0])]
+        for s, w in zip(figure.series, widths[1:]):
+            match = [y for (px, y) in s.points if px == x]
+            row.append((f"{match[0]:.{precision}f}" if match else "-").rjust(w))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_ascii_plot(
+    figure: FigureData,
+    *,
+    width: int = 64,
+    height: int = 16,
+    logy: bool = False,
+) -> str:
+    """Terminal scatter plot; one marker letter per series."""
+    points = figure.all_points()
+    if not points:
+        return f"{figure.title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if logy:
+        floor = min(y for y in ys if y > 0) if any(y > 0 for y in ys) else 1e-9
+        transform = lambda y: math.log10(max(y, floor))
+    else:
+        transform = lambda y: y
+    ty = [transform(y) for y in ys]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghij"
+    for si, s in enumerate(figure.series):
+        mark = markers[si % len(markers)]
+        for x, y in s.points:
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = round((transform(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = [f"{figure.title}   (y: {figure.ylabel}{', log10' if logy else ''})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" x: {figure.xlabel}  [{x_lo:g} .. {x_hi:g}]")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={s.label}" for i, s in enumerate(figure.series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

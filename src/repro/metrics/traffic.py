@@ -1,0 +1,66 @@
+"""Communication-traffic accounting (Table II of the paper).
+
+Every message routed through :class:`repro.net.transport.Transport` is
+serialized by the canonical codec and its byte length is charged to the
+sender's *output* and the receiver's *input*.  Table II reports exactly
+these quantities per party plus the total over all parties.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["TrafficMeter", "format_traffic_table"]
+
+
+@dataclass
+class TrafficMeter:
+    """Bytes sent/received per party."""
+
+    sent: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    received: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    messages: int = 0
+
+    def record(self, sender: str, receiver: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("message size cannot be negative")
+        self.sent[sender] += nbytes
+        self.received[receiver] += nbytes
+        self.messages += 1
+
+    def output_bytes(self, party: str) -> int:
+        """Table II's "Output" column for *party*."""
+        return self.sent.get(party, 0)
+
+    def input_bytes(self, party: str) -> int:
+        """Table II's "Input" column for *party*."""
+        return self.received.get(party, 0)
+
+    def total_bytes(self) -> int:
+        """Total unidirectional traffic (each message counted once)."""
+        return sum(self.sent.values())
+
+    def total_kb(self) -> float:
+        return self.total_bytes() / 1024.0
+
+    def reset(self) -> None:
+        self.sent.clear()
+        self.received.clear()
+        self.messages = 0
+
+
+def format_traffic_table(meter: TrafficMeter, parties: list[str], title: str = "") -> str:
+    """Render a Table-II-style ASCII table (input/output bytes, total kB)."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'party':<8}{'input (B)':>12}{'output (B)':>12}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for party in parties:
+        lines.append(
+            f"{party:<8}{meter.input_bytes(party):>12}{meter.output_bytes(party):>12}"
+        )
+    lines.append(f"{'total':<8}{meter.total_kb():>23.2f} kB")
+    return "\n".join(lines)

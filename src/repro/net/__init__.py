@@ -1,0 +1,21 @@
+"""Simulated network: canonical codec, accounted transport, mix network.
+
+Importing this package registers all wire-crossing dataclasses with the
+codec (see :mod:`~repro.net.registry`).
+"""
+
+from repro.net import registry as _registry  # noqa: F401  (side-effect import)
+from repro.net.codec import decode, encode, encoded_size, register
+from repro.net.mix import MixNetwork, MixObservation
+from repro.net.transport import Envelope, Transport
+
+__all__ = [
+    "encode",
+    "decode",
+    "encoded_size",
+    "register",
+    "Transport",
+    "Envelope",
+    "MixNetwork",
+    "MixObservation",
+]

@@ -1,0 +1,18 @@
+"""Discrete-event market simulation (events engine + PPMSdec driver)."""
+
+from repro.sim.events import EventQueue, SimulationError
+from repro.sim.market_sim import (
+    DepositPolicy,
+    MarketSimulation,
+    SimulationTrace,
+    run_timing_attack,
+)
+
+__all__ = [
+    "EventQueue",
+    "SimulationError",
+    "DepositPolicy",
+    "MarketSimulation",
+    "SimulationTrace",
+    "run_timing_attack",
+]

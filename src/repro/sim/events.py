@@ -1,0 +1,80 @@
+"""A minimal discrete-event engine.
+
+The market simulations need events ordered by simulated time with
+deterministic tie-breaking — nothing more.  :class:`EventQueue` is a
+heap of ``(time, seq, action)`` triples; actions are zero-argument
+callables that may schedule further events.
+
+Determinism rules:
+
+* ties in time break by insertion order (the monotone ``seq``),
+* an action scheduled for a time earlier than the current clock is an
+  error (no time travel — it would make runs irreproducible).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EventQueue", "SimulationError"]
+
+
+class SimulationError(Exception):
+    """Scheduling inconsistency (e.g. an event in the past)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Time-ordered event execution."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self.now = 0.0
+        self.executed = 0
+
+    def schedule(self, at: float, action: Callable[[], None]) -> None:
+        """Enqueue *action* for simulated time *at*."""
+        if at < self.now:
+            raise SimulationError(
+                f"cannot schedule at {at:.4f}: clock already at {self.now:.4f}"
+            )
+        heapq.heappush(self._heap, _Event(time=at, seq=self._seq, action=action))
+        self._seq += 1
+
+    def schedule_in(self, delay: float, action: Callable[[], None]) -> None:
+        """Enqueue relative to the current clock."""
+        if delay < 0:
+            raise SimulationError("negative delay")
+        self.schedule(self.now + delay, action)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def step(self) -> bool:
+        """Run the next event; returns ``False`` when the queue is empty."""
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        event.action()
+        self.executed += 1
+        return True
+
+    def run(self, *, until: float | None = None, max_events: int = 1_000_000) -> None:
+        """Drain the queue (optionally only up to simulated time *until*)."""
+        while self._heap and self.executed < max_events:
+            if until is not None and self._heap[0].time > until:
+                return
+            self.step()
+        if self._heap and self.executed >= max_events:
+            raise SimulationError(f"event budget exhausted ({max_events})")

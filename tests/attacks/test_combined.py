@@ -1,0 +1,58 @@
+"""Tests for the combined (timing × denomination) adversary."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacks.combined import combined_experiment
+
+
+def run(break_strategy, random_waits, seed=11, participants=10, trials=25):
+    return combined_experiment(
+        level=6,
+        participants=participants,
+        trials=trials,
+        rng=random.Random(seed),
+        break_strategy=break_strategy,
+        random_waits=random_waits,
+    )
+
+
+class TestDefenceInDepth:
+    def test_no_defences_fully_broken(self):
+        result = run(break_strategy=None, random_waits=False)
+        assert result.combined > 0.9
+
+    def test_timing_defence_alone_insufficient(self):
+        """Random waits but no break: denominations still identify."""
+        result = run(break_strategy=None, random_waits=True)
+        assert result.denomination_only > 0.5
+        assert result.combined >= result.denomination_only - 0.05
+
+    def test_break_defence_alone_insufficient(self):
+        """Cash break but immediate deposits: timing still identifies."""
+        result = run(break_strategy="unitary", random_waits=False)
+        assert result.timing_only > 0.9
+        assert result.combined > 0.9
+
+    def test_both_defences_protect(self):
+        result = run(break_strategy="unitary", random_waits=True)
+        assert result.combined < 0.5
+        # and both single signals are individually weak too
+        assert result.timing_only < 0.5
+        assert result.denomination_only < 0.5
+
+    def test_combined_never_much_worse_than_best_single(self):
+        """Fusing signals should not hurt the adversary."""
+        for strategy, waits in ((None, False), ("pcba", False), ("unitary", True)):
+            result = run(break_strategy=strategy, random_waits=waits, seed=3)
+            best_single = max(result.timing_only, result.denomination_only)
+            assert result.combined >= best_single - 0.15
+
+    def test_result_fields(self):
+        result = run(break_strategy="epcba", random_waits=True, trials=5, participants=4)
+        assert result.trials == 5 and result.participants == 4
+        for rate in (result.timing_only, result.denomination_only, result.combined):
+            assert 0.0 <= rate <= 1.0

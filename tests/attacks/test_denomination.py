@@ -1,0 +1,85 @@
+"""Tests for the denomination attack implementation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.denomination import (
+    candidate_jobs,
+    reachable_sums,
+    run_denomination_attack,
+)
+
+
+class TestReachableSums:
+    def test_examples(self):
+        assert reachable_sums([1, 2, 4]) == set(range(1, 8))
+        assert reachable_sums([2, 2]) == {2, 4}
+        assert reachable_sums([]) == set()
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            reachable_sums([0])
+
+    @given(st.lists(st.integers(min_value=1, max_value=16), max_size=8))
+    @settings(max_examples=60)
+    def test_matches_bruteforce(self, deposits):
+        from itertools import combinations
+
+        expected = set()
+        for k in range(1, len(deposits) + 1):
+            for combo in combinations(deposits, k):
+                expected.add(sum(combo))
+        assert reachable_sums(deposits) == expected
+
+    @given(st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=10))
+    @settings(max_examples=40)
+    def test_total_always_reachable(self, deposits):
+        assert sum(deposits) in reachable_sums(deposits)
+
+
+class TestCandidateJobs:
+    def test_exact_match(self):
+        jobs = {"a": 5, "b": 9}
+        assert candidate_jobs(jobs, [5]) == {"a"}
+
+    def test_subset_sum_match(self):
+        jobs = {"a": 3, "b": 7, "c": 100}
+        assert candidate_jobs(jobs, [1, 2, 4]) == {"a", "b"}
+
+    def test_empty_deposits(self):
+        assert candidate_jobs({"a": 1}, []) == set()
+
+
+class TestAttack:
+    def test_unbroken_payment_usually_identified(self):
+        """The strawman the paper attacks: whole payment deposited at once
+        uniquely identifies a distinct-payment job."""
+        jobs = {"a": 3, "b": 5, "c": 11}
+        result = run_denomination_attack(jobs, "b", [5])
+        assert result.uniquely_identified
+
+    def test_broken_payment_grows_candidates(self):
+        jobs = {"a": 3, "b": 5, "c": 11, "d": 8, "e": 1, "f": 4}
+        result = run_denomination_attack(jobs, "b", [1, 4])  # 5 broken as 1+4
+        assert not result.uniquely_identified
+        assert result.candidates == {"b", "e", "f"}  # payments 5, 1, 4 all reachable
+        assert result.anonymity_set_size == 3
+
+    def test_true_job_always_covered_with_full_stream(self):
+        jobs = {"a": 6}
+        result = run_denomination_attack(jobs, "a", [1, 2, 2, 1])
+        assert result.true_job_covered
+
+    def test_requires_published_true_job(self):
+        with pytest.raises(ValueError):
+            run_denomination_attack({"a": 1}, "ghost", [1])
+
+    def test_result_properties(self):
+        jobs = {"a": 2, "b": 4}
+        result = run_denomination_attack(jobs, "a", [2])
+        assert result.anonymity_set_size == 1
+        assert result.uniquely_identified
+        assert result.true_job == "a"

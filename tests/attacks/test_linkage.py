@@ -1,0 +1,114 @@
+"""Tests for the linkage experiments and adversary views."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacks.adversary import CuriousJOView, CuriousMAView, NetworkEavesdropperView
+from repro.attacks.linkage import (
+    denomination_experiment,
+    withdrawal_unlinkability_experiment,
+)
+from repro.net.transport import Transport
+
+
+class TestDenominationExperiment:
+    def test_break_strategies_ordered(self, rng):
+        """The paper's core privacy claim, quantitatively: breaking the
+        cash monotonically weakens the denomination attack."""
+        results = {
+            s: denomination_experiment(s, level=6, n_jobs=12, trials=150, rng=rng)
+            for s in ("none", "pcba", "epcba", "unitary")
+        }
+        assert results["none"].identification_rate > results["pcba"].identification_rate
+        assert results["pcba"].identification_rate >= results["epcba"].identification_rate
+        assert results["epcba"].identification_rate >= results["unitary"].identification_rate
+
+    def test_anonymity_sets_grow(self, rng):
+        none = denomination_experiment("none", level=6, n_jobs=12, trials=100, rng=rng)
+        unit = denomination_experiment("unitary", level=6, n_jobs=12, trials=100, rng=rng)
+        assert unit.mean_anonymity_set > none.mean_anonymity_set
+
+    def test_partial_visibility_weakens_attack_confidence(self, rng):
+        """With half the stream hidden the candidate set shifts; the
+        experiment must still run and produce sane rates."""
+        summary = denomination_experiment(
+            "unitary", level=5, n_jobs=10, trials=80, rng=rng, deposits_visible="half"
+        )
+        assert 0.0 <= summary.identification_rate <= 1.0
+
+    def test_rejects_unknown_visibility(self, rng):
+        with pytest.raises(ValueError):
+            denomination_experiment(
+                "pcba", level=4, n_jobs=5, trials=5, rng=rng, deposits_visible="some"
+            )
+
+    def test_zero_trials(self, rng):
+        summary = denomination_experiment("pcba", level=4, n_jobs=5, trials=0, rng=rng)
+        assert summary.identification_rate == 0.0
+
+
+class TestWithdrawalUnlinkability:
+    def test_linking_rate_near_chance(self, dec_params, rng):
+        from repro.ecash.dec import DECBank
+
+        bank = DECBank.create(dec_params, rng)
+        rate = withdrawal_unlinkability_experiment(dec_params, bank, n_coins=8, rng=rng)
+        # chance level is 1/8 = 0.125; anything resembling certainty fails
+        assert rate <= 0.5
+
+
+class TestAdversaryViews:
+    def test_curious_ma_accumulates(self):
+        view = CuriousMAView()
+        view.observe_job("j1", 5)
+        view.observe_withdrawal("jo", 8)
+        view.observe_deposit("sp", 1, 0.5)
+        view.observe_deposit("sp", 4, 1.5)
+        view.observe_deposit("other", 2, 2.0)
+        assert view.published_jobs == {"j1": 5}
+        assert view.deposits_of("sp") == [1, 4]
+
+    def test_curious_ma_taps_transport(self):
+        view = CuriousMAView()
+        t = Transport()
+        view.attach(t)
+        t.send("A", "B", "k", 1)
+        assert len(view.envelopes) == 1
+
+    def test_curious_jo_view(self):
+        view = CuriousJOView()
+        view.observe_labor(b"pseud")
+        view.observe_blinded_request(12345)
+        view.observe_report(b"data")
+        assert view.labor_pseudonyms == [b"pseud"]
+        assert view.blinded_requests == [12345]
+
+    def test_eavesdropper_histogram(self):
+        view = NetworkEavesdropperView()
+        t = Transport()
+        view.attach(t)
+        t.send("A", "B", "k", b"x" * 10)
+        t.send("C", "D", "k", b"y" * 10)
+        hist = view.size_histogram()
+        assert sum(hist.values()) == 2
+        assert len(hist) == 1  # identical sizes -> indistinguishable
+
+
+class TestGridSweep:
+    def test_parallel_equals_sequential(self):
+        from repro.attacks.linkage import denomination_experiment_grid
+
+        grid = [(s, 5, 6, 30) for s in ("none", "unitary")]
+        seq = denomination_experiment_grid(grid, seed=9, processes=1)
+        par = denomination_experiment_grid(grid, seed=9, processes=2)
+        assert seq == par
+
+    def test_results_in_grid_order(self):
+        from repro.attacks.linkage import denomination_experiment_grid
+
+        grid = [("pcba", 4, 5, 10), ("epcba", 4, 5, 10)]
+        results = denomination_experiment_grid(grid, seed=1, processes=1)
+        assert [r.strategy for r in results] == ["pcba", "epcba"]

@@ -1,0 +1,48 @@
+"""Tests for the longitudinal (multi-epoch) denomination analysis."""
+
+from __future__ import annotations
+
+import random
+
+from repro.attacks.longitudinal import longitudinal_experiment
+
+
+def run(epochs, seed=7, trials=80, **kw):
+    return longitudinal_experiment(
+        level=6, epochs=epochs, jobs_per_epoch=10, trials=trials,
+        rng=random.Random(seed), **kw
+    )
+
+
+class TestPaperClaim:
+    def test_pooled_adversary_collapses_with_epochs(self):
+        """Section IV-B1's claim, for the adversary it implicitly models:
+        accumulation makes the pooled denomination attack fail."""
+        one = run(1)
+        many = run(6)
+        assert many.pooled_rate < one.pooled_rate
+        assert many.pooled_rate <= 0.05
+
+    def test_single_epoch_adversaries_coincide(self):
+        r = run(1)
+        assert r.pooled_rate == r.segmenting_rate
+
+
+class TestSegmentingRefinement:
+    def test_segmenting_adversary_grows_with_epochs(self):
+        """The refinement the paper misses: a time-segmenting MA gets a
+        fresh attack per participation."""
+        rates = [run(e).segmenting_rate for e in (1, 3, 6)]
+        assert rates[0] < rates[-1]
+        assert rates[-1] > 0.7
+
+    def test_finer_breaks_still_help_the_recurring_sp(self):
+        """The mitigation is the paper's own: finer cash breaks."""
+        coarse = run(4, break_strategy="pcba")
+        fine = run(4, break_strategy="unitary")
+        assert fine.segmenting_rate <= coarse.segmenting_rate
+
+    def test_zero_trials(self):
+        r = longitudinal_experiment(level=4, epochs=2, jobs_per_epoch=3,
+                                    trials=0, rng=random.Random(1))
+        assert r.pooled_rate == 0.0 and r.segmenting_rate == 0.0

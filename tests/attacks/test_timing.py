@@ -1,0 +1,70 @@
+"""Tests for the deposit timing-correlation attack and its defence."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.attacks.timing import (
+    DeliveryEvent,
+    TimedDeposit,
+    TimingAdversary,
+    timing_experiment,
+)
+
+
+class TestAdversary:
+    def test_perfect_match_when_immediate(self):
+        adversary = TimingAdversary()
+        deliveries = [DeliveryEvent(time=float(i), pseudonym=i) for i in range(5)]
+        deposits = [TimedDeposit(time=float(i) + 0.01, aid=i) for i in range(5)]
+        guesses = adversary.link(deliveries, deposits)
+        assert guesses == {i: i for i in range(5)}
+
+    def test_no_candidate_before_delivery(self):
+        adversary = TimingAdversary()
+        deliveries = [DeliveryEvent(time=10.0, pseudonym=0)]
+        deposits = [TimedDeposit(time=5.0, aid=0)]
+        assert adversary.link(deliveries, deposits) == {}
+
+    def test_each_delivery_used_once(self):
+        adversary = TimingAdversary()
+        deliveries = [DeliveryEvent(time=0.0, pseudonym=0), DeliveryEvent(time=1.0, pseudonym=1)]
+        deposits = [TimedDeposit(time=2.0, aid=7), TimedDeposit(time=3.0, aid=8)]
+        guesses = adversary.link(deliveries, deposits)
+        assert sorted(guesses.values()) == [0, 1]
+
+    def test_shuffled_waits_break_matching(self):
+        """If SP 0 waits long and SP 1 deposits first, greedy matching
+        misassigns — the core of the defence."""
+        adversary = TimingAdversary()
+        deliveries = [DeliveryEvent(time=0.0, pseudonym=0), DeliveryEvent(time=1.0, pseudonym=1)]
+        deposits = [TimedDeposit(time=1.5, aid=1), TimedDeposit(time=9.0, aid=0)]
+        guesses = adversary.link(deliveries, deposits)
+        assert guesses[1] == 0 and guesses[0] == 1  # both wrong
+
+
+class TestExperiment:
+    def test_immediate_policy_is_fully_linkable(self, rng):
+        result = timing_experiment(participants=10, trials=30, rng=rng)
+        assert result.immediate_accuracy > 0.95
+
+    def test_random_waits_collapse_accuracy(self, rng):
+        result = timing_experiment(participants=10, trials=30, rng=rng)
+        assert result.randomized_accuracy < 0.5
+        assert result.randomized_accuracy < result.immediate_accuracy
+
+    def test_longer_waits_weaker_linking(self, rng):
+        short = timing_experiment(
+            participants=10, trials=40, rng=random.Random(1), wait_mean=0.5
+        )
+        long = timing_experiment(
+            participants=10, trials=40, rng=random.Random(1), wait_mean=20.0
+        )
+        assert long.randomized_accuracy <= short.randomized_accuracy
+
+    def test_result_fields(self, rng):
+        result = timing_experiment(participants=4, trials=5, rng=rng)
+        assert result.participants == 4 and result.trials == 5
+        assert 0.0 <= result.randomized_accuracy <= 1.0

@@ -1,0 +1,93 @@
+"""Shared fixtures.
+
+Expensive artefacts (group towers, pairing curves, RSA keys, DEC
+parameter sets) are session-scoped and deterministic; anything mutable
+(banks, wallets, sessions) is built per test from them.  All bit sizes
+are test-sized — the benches use the documented defaults.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
+
+import repro.net  # noqa: F401  — registers codec wire types
+
+# Arbitrary-precision arithmetic is timing-noisy; wall-clock deadlines
+# would make property tests flaky on slow or contended machines.
+hypothesis_settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+hypothesis_settings.load_profile("repro")
+from repro.crypto import rsa
+from repro.crypto.groups import SchnorrGroup, build_tower
+from repro.crypto.pairing import TatePairing, ToyPairing, generate_curve
+from repro.ecash.dec import DECBank
+from repro.ecash.spend import DECParams
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """Fresh deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def session_rng() -> random.Random:
+    return random.Random(0xDEC0DE)
+
+
+@pytest.fixture(scope="session")
+def schnorr_group(session_rng) -> SchnorrGroup:
+    return SchnorrGroup.generate(64, session_rng)
+
+
+@pytest.fixture(scope="session")
+def tower3(session_rng):
+    """Depth-3 Cunningham tower (precomputed chain)."""
+    return build_tower(3, session_rng)
+
+
+@pytest.fixture(scope="session")
+def tate_backend(session_rng) -> TatePairing:
+    return TatePairing(generate_curve(32, session_rng))
+
+
+@pytest.fixture(scope="session")
+def toy_backend(session_rng) -> ToyPairing:
+    return ToyPairing.generate(48, session_rng)
+
+
+@pytest.fixture(scope="session")
+def rsa_key(session_rng) -> rsa.RSAPrivateKey:
+    return rsa.generate_keypair(512, session_rng)
+
+
+@pytest.fixture(scope="session")
+def rsa_key_other(session_rng) -> rsa.RSAPrivateKey:
+    return rsa.generate_keypair(512, session_rng)
+
+
+@pytest.fixture(scope="session")
+def dec_params(session_rng) -> DECParams:
+    """Level-3 DEC instance with a real (small) Tate pairing."""
+    from repro.ecash.dec import setup
+
+    return setup(3, session_rng, security_bits=40, edge_rounds=8)
+
+
+@pytest.fixture()
+def dec_bank(dec_params, rng) -> DECBank:
+    return DECBank.create(dec_params, rng)
+
+
+@pytest.fixture(scope="session")
+def dec_params_toy(session_rng) -> DECParams:
+    """Level-4 DEC instance on the toy backend (fast protocol tests)."""
+    from repro.ecash.dec import setup
+
+    return setup(4, session_rng, security_bits=80, real_pairing=False, edge_rounds=6)

@@ -1,0 +1,149 @@
+"""Unit + property tests for the cash-break algorithms (Algs. 2-3)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cashbreak import (
+    BREAK_FN_BY_NAME,
+    binary_digits,
+    coverage,
+    epcba,
+    pcba,
+    subset_sums,
+    unitary_break,
+    validate_break,
+)
+
+LEVEL = 6
+amounts = st.integers(min_value=1, max_value=1 << LEVEL)
+
+
+class TestBinaryDigits:
+    def test_known_values(self):
+        assert binary_digits(5, 4) == [1, 0, 1, 0]
+        assert binary_digits(0, 3) == [0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            binary_digits(-1, 4)
+        with pytest.raises(ValueError):
+            binary_digits(16, 4)
+
+    @given(st.integers(min_value=0, max_value=1023))
+    def test_reconstruction(self, v):
+        bits = binary_digits(v, 10)
+        assert sum(b << i for i, b in enumerate(bits)) == v
+
+
+class TestUnitaryBreak:
+    @given(amounts)
+    def test_sums_and_slots(self, w):
+        coins = unitary_break(w, LEVEL)
+        assert validate_break(coins, w, LEVEL)
+        assert len(coins) == 1 << LEVEL  # fixed slot count
+        assert all(c in (0, 1) for c in coins)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            unitary_break(0, LEVEL)
+        with pytest.raises(ValueError):
+            unitary_break((1 << LEVEL) + 1, LEVEL)
+
+
+class TestPCBA:
+    @given(amounts)
+    def test_follows_binary_representation(self, w):
+        coins = pcba(w, LEVEL)
+        assert validate_break(coins, w, LEVEL)
+        assert len(coins) == LEVEL + 2
+        nonzero = sorted(c for c in coins if c)
+        assert nonzero == sorted((1 << i) for i in range(LEVEL + 1) if (w >> i) & 1)
+
+    def test_power_of_two_single_coin(self):
+        coins = pcba(8, LEVEL)
+        assert [c for c in coins if c] == [8]
+
+
+class TestEPCBA:
+    @given(amounts)
+    def test_valid_break(self, w):
+        coins = epcba(w, LEVEL)
+        assert validate_break(coins, w, LEVEL)
+        assert len(coins) == LEVEL + 2
+
+    @given(amounts)
+    def test_at_least_as_many_coins_as_pcba(self, w):
+        """EPCBA's purpose: never fewer coins, hence never less privacy."""
+        n_e = sum(1 for c in epcba(w, LEVEL) if c)
+        n_p = sum(1 for c in pcba(w, LEVEL) if c)
+        assert n_e >= n_p
+
+    @given(amounts)
+    def test_coverage_superset_or_equal(self, w):
+        cov_e = coverage(epcba(w, LEVEL))
+        cov_p = coverage(pcba(w, LEVEL))
+        assert len(cov_e) >= len(cov_p)
+
+    def test_power_of_two_broken_up(self):
+        """The case EPCBA exists for: w = 2^k has one set bit; w-1 has k."""
+        coins = [c for c in epcba(8, LEVEL) if c]
+        assert sorted(coins) == [1, 1, 2, 4]
+
+    def test_branch_selection_matches_algorithm3(self):
+        # w = 6 (110, a=2); w-1 = 5 (101, a'=2): a <= a' -> break 5 + 1
+        assert sorted(c for c in epcba(6, LEVEL) if c) == [1, 1, 4]
+        # w = 5 (101, a=2); w-1 = 4 (100, a'=1): a > a' -> break 5 directly
+        assert sorted(c for c in epcba(5, LEVEL) if c) == [1, 4]
+
+
+class TestSubsetSums:
+    def test_example(self):
+        assert subset_sums([1, 2]) == {1, 2, 3}
+        assert subset_sums([1, 1]) == {1, 2}
+
+    def test_zeros_ignored(self):
+        assert subset_sums([0, 3, 0]) == {3}
+
+    def test_empty(self):
+        assert subset_sums([]) == set()
+
+    @given(amounts)
+    def test_unitary_covers_everything_below_w(self, w):
+        """The paper's claim: unitary break sums cover all of [1, w]."""
+        assert coverage(unitary_break(w, LEVEL)) == set(range(1, w + 1))
+
+    @given(amounts)
+    def test_binary_break_covers_all_submasks(self, w):
+        """PCBA sums cover exactly the submask sums of w."""
+        cov = coverage(pcba(w, LEVEL))
+        assert w in cov
+        assert all(1 <= s <= w for s in cov)
+
+
+class TestRegistry:
+    def test_names(self):
+        # the paper's three strategies are always present; the optional
+        # "optimal" extension registers itself on import
+        assert {"unitary", "pcba", "epcba"} <= set(BREAK_FN_BY_NAME)
+        assert set(BREAK_FN_BY_NAME) <= {"unitary", "pcba", "epcba", "optimal"}
+
+    @given(amounts, st.sampled_from(["unitary", "pcba", "epcba"]))
+    def test_all_strategies_valid(self, w, name):
+        assert validate_break(BREAK_FN_BY_NAME[name](w, LEVEL), w, LEVEL)
+
+
+class TestValidateBreak:
+    def test_detects_bad_sum(self):
+        assert not validate_break([4, 2], 5, 3)
+
+    def test_detects_non_power(self):
+        assert not validate_break([3, 2], 5, 3)
+
+    def test_detects_oversized(self):
+        assert not validate_break([16], 16, 3)
+
+    def test_accepts_zeros(self):
+        assert validate_break([4, 0, 1, 0], 5, 3)

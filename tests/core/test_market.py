@@ -1,0 +1,66 @@
+"""Tests for the shared market substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.market import BulletinBoard, DataReport, JobProfile, new_job_id
+
+
+class TestJobProfile:
+    def test_valid(self):
+        p = JobProfile(job_id="j1", description="d", payment=3, owner_pseudonym=b"xx")
+        assert p.payment == 3
+
+    def test_rejects_zero_payment(self):
+        with pytest.raises(ValueError):
+            JobProfile(job_id="j", description="d", payment=0, owner_pseudonym=b"x")
+
+    def test_rejects_missing_pseudonym(self):
+        with pytest.raises(ValueError):
+            JobProfile(job_id="j", description="d", payment=1, owner_pseudonym=b"")
+
+
+class TestBulletinBoard:
+    def _profile(self, jid):
+        return JobProfile(job_id=jid, description="d", payment=1, owner_pseudonym=b"p")
+
+    def test_publish_and_lookup(self):
+        board = BulletinBoard()
+        board.publish(self._profile("a"))
+        assert board.lookup("a").job_id == "a"
+
+    def test_rejects_duplicate(self):
+        board = BulletinBoard()
+        board.publish(self._profile("a"))
+        with pytest.raises(ValueError):
+            board.publish(self._profile("a"))
+
+    def test_lookup_missing(self):
+        with pytest.raises(KeyError):
+            BulletinBoard().lookup("ghost")
+
+    def test_jobs_ordered_and_copied(self):
+        board = BulletinBoard()
+        board.publish(self._profile("a"))
+        board.publish(self._profile("b"))
+        jobs = board.jobs()
+        assert [j.job_id for j in jobs] == ["a", "b"]
+        jobs.clear()
+        assert len(board.jobs()) == 2
+
+
+class TestDataReport:
+    def test_valid(self):
+        r = DataReport(job_id="j", submitter_pseudonym=b"p", payload=b"data")
+        assert r.payload == b"data"
+
+    def test_rejects_empty_payload(self):
+        with pytest.raises(ValueError):
+            DataReport(job_id="j", submitter_pseudonym=b"p", payload=b"")
+
+
+class TestJobIds:
+    def test_unique(self):
+        ids = {new_job_id() for _ in range(100)}
+        assert len(ids) == 100

@@ -1,0 +1,80 @@
+"""Tests for the Chaum RSA blind signature."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.blind import (
+    BlindClient,
+    BlindSigner,
+    message_representative,
+    verify_blind_signature,
+)
+
+
+@pytest.fixture()
+def signer(rsa_key):
+    return BlindSigner(rsa_key)
+
+
+class TestBlindSignature:
+    def test_full_flow(self, signer, rng):
+        client = BlindClient(signer.public_key, rng)
+        blinded = client.blind(b"coin-001")
+        sig = client.unblind(signer.sign_blinded(blinded))
+        assert verify_blind_signature(signer.public_key, b"coin-001", sig)
+
+    def test_signature_invalid_for_other_message(self, signer, rng):
+        client = BlindClient(signer.public_key, rng)
+        sig = client.unblind(signer.sign_blinded(client.blind(b"coin-001")))
+        assert not verify_blind_signature(signer.public_key, b"coin-002", sig)
+
+    def test_blindness_signer_sees_random_looking_value(self, signer, rng):
+        """The blinded values of the same message must differ per run."""
+        c1 = BlindClient(signer.public_key, rng)
+        c2 = BlindClient(signer.public_key, rng)
+        assert c1.blind(b"same") != c2.blind(b"same")
+
+    def test_blinded_value_not_representative(self, signer, rng):
+        client = BlindClient(signer.public_key, rng)
+        blinded = client.blind(b"m")
+        assert blinded != message_representative(b"m", signer.public_key.n)
+
+    def test_unblind_without_blind_raises(self, signer, rng):
+        client = BlindClient(signer.public_key, rng)
+        with pytest.raises(RuntimeError):
+            client.unblind(12345)
+
+    def test_unblind_consumes_state(self, signer, rng):
+        client = BlindClient(signer.public_key, rng)
+        client.unblind(signer.sign_blinded(client.blind(b"x")))
+        with pytest.raises(RuntimeError):
+            client.unblind(1)
+
+    def test_signer_range_validation(self, signer):
+        with pytest.raises(ValueError):
+            signer.sign_blinded(0)
+        with pytest.raises(ValueError):
+            signer.sign_blinded(signer.sk.n)
+
+    def test_verify_range_validation(self, signer):
+        assert not verify_blind_signature(signer.public_key, b"m", 0)
+        assert not verify_blind_signature(signer.public_key, b"m", signer.public_key.n)
+
+    def test_unforgeability_smoke(self, signer, rng):
+        """A signature picked at random should virtually never verify."""
+        hits = sum(
+            verify_blind_signature(signer.public_key, b"m", rng.randrange(1, signer.public_key.n))
+            for _ in range(50)
+        )
+        assert hits == 0
+
+    def test_many_messages(self, signer):
+        rng = random.Random(5)
+        for i in range(10):
+            msg = f"coin-{i}".encode()
+            client = BlindClient(signer.public_key, rng)
+            sig = client.unblind(signer.sign_blinded(client.blind(msg)))
+            assert verify_blind_signature(signer.public_key, msg, sig)

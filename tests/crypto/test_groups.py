@@ -1,0 +1,135 @@
+"""Tests for Schnorr groups and the DEC group tower."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cunningham import known_chain
+from repro.crypto.groups import GroupTower, SchnorrGroup, build_tower
+from repro.crypto.ntheory import is_probable_prime
+
+
+class TestSchnorrGroup:
+    def test_generate_shape(self, schnorr_group):
+        g = schnorr_group
+        assert (g.p - 1) % g.q == 0
+        assert is_probable_prime(g.p) and is_probable_prime(g.q)
+        assert pow(g.g, g.q, g.p) == 1
+
+    def test_validation_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            SchnorrGroup(p=23, q=7, g=2)  # 7 does not divide 22
+
+    def test_validation_rejects_wrong_order_generator(self):
+        # 5 has order 22 mod 23, not 11
+        with pytest.raises(ValueError):
+            SchnorrGroup(p=23, q=11, g=5)
+
+    def test_validation_rejects_identity(self):
+        with pytest.raises(ValueError):
+            SchnorrGroup(p=23, q=11, g=1)
+
+    def test_exp_reduces_mod_q(self, schnorr_group):
+        g = schnorr_group
+        x = 5
+        assert g.power(x) == g.power(x + g.q)
+
+    def test_mul_inv(self, schnorr_group, rng):
+        g = schnorr_group
+        a = g.random_element(rng)
+        assert g.mul(a, g.inv(a)) == 1
+
+    def test_contains(self, schnorr_group, rng):
+        g = schnorr_group
+        assert g.contains(g.random_element(rng))
+        assert not g.contains(0)
+        assert not g.contains(g.p)
+
+    def test_derive_generator_in_subgroup_and_stable(self, schnorr_group):
+        g = schnorr_group
+        h1 = g.derive_generator(b"label-a")
+        h2 = g.derive_generator(b"label-a")
+        h3 = g.derive_generator(b"label-b")
+        assert h1 == h2 != h3
+        assert g.contains(h1) and g.contains(h3)
+        assert h1 != 1
+
+    def test_from_order(self, rng):
+        q = 1000003  # prime
+        grp = SchnorrGroup.from_order(q, rng)
+        assert grp.q == q and (grp.p - 1) % q == 0
+        assert is_probable_prime(grp.p)
+
+    def test_from_order_rejects_composite(self, rng):
+        with pytest.raises(ValueError):
+            SchnorrGroup.from_order(1000000, rng)
+
+    @given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=25)
+    def test_homomorphism(self, a, b):
+        rng = random.Random(99)
+        grp = SchnorrGroup.generate(32, rng)
+        assert grp.mul(grp.power(a), grp.power(b)) == grp.power(a + b)
+
+
+class TestGroupTower:
+    def test_depth_and_verify(self, tower3):
+        assert tower3.depth == 3
+        assert tower3.verify()
+
+    def test_chain_linkage(self, tower3):
+        """Storey i's modulus must be storey i+1's order (except the top)."""
+        for i in range(tower3.depth):
+            assert tower3.group(i).p == tower3.group(i + 1).q
+
+    def test_orders_form_cunningham_chain(self, tower3):
+        orders = [g.q for g in tower3.levels]
+        for a, b in zip(orders, orders[1:]):
+            assert b == 2 * a + 1
+            assert is_probable_prime(a) and is_probable_prime(b)
+
+    def test_four_generators_per_level(self, tower3):
+        for storey, gens in enumerate(tower3.extra_generators):
+            assert len(gens) == 4
+            grp = tower3.group(storey)
+            for h in gens:
+                assert grp.contains(h) and h != 1
+
+    def test_generators_distinct_within_level(self, tower3):
+        for gens in tower3.extra_generators:
+            assert len(set(gens)) == len(gens)
+
+    def test_build_with_explicit_chain(self, rng):
+        chain = known_chain(3)
+        tower = build_tower(2, rng, chain=chain)
+        assert tower.depth == 2 and tower.verify()
+
+    def test_build_rejects_short_chain(self, rng):
+        chain = known_chain(2)
+        with pytest.raises(ValueError):
+            build_tower(5, rng, chain=chain)
+
+    def test_build_level_zero(self, rng):
+        tower = build_tower(0, rng)
+        assert tower.depth == 0
+
+    def test_build_negative_level_rejected(self, rng):
+        with pytest.raises(ValueError):
+            build_tower(-1, rng)
+
+    def test_online_search_path(self, rng):
+        """use_known_chain=False exercises the Fig. 2 search path."""
+        tower = build_tower(1, rng, use_known_chain=False, chain_bits=10)
+        assert tower.verify()
+        assert tower.chain.start.bit_length() == 10
+
+    def test_element_is_exponent_one_storey_up(self, tower3, rng):
+        """The double-discrete-log property the e-cash tree relies on."""
+        g0, g1 = tower3.group(0), tower3.group(1)
+        element = g0.random_element(rng)
+        assert 0 < element < g1.q + g1.q + 1  # element of Z_{p0} = Z_{q1}
+        assert g1.contains(g1.power(element))

@@ -1,0 +1,111 @@
+"""Property tests for F_{p^2} arithmetic (field axioms, Frobenius)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.pairing.field import Fp2
+
+P = 10007  # prime ≡ 3 (mod 4)
+
+elements = st.builds(
+    Fp2,
+    a=st.integers(min_value=0, max_value=P - 1),
+    b=st.integers(min_value=0, max_value=P - 1),
+    p=st.just(P),
+)
+nonzero = elements.filter(lambda x: not x.is_zero())
+
+
+class TestConstruction:
+    def test_reduction_mod_p(self):
+        x = Fp2(P + 3, -1, P)
+        assert x.a == 3 and x.b == P - 1
+
+    def test_one_zero(self):
+        assert Fp2.one(P).is_one()
+        assert Fp2.zero(P).is_zero()
+        assert Fp2.from_base(5, P) == Fp2(5, 0, P)
+
+    def test_field_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Fp2(1, 2, P) + Fp2(1, 2, 10009)
+
+
+class TestFieldAxioms:
+    @given(elements, elements, elements)
+    @settings(max_examples=50)
+    def test_add_associative_commutative(self, x, y, z):
+        assert (x + y) + z == x + (y + z)
+        assert x + y == y + x
+
+    @given(elements, elements, elements)
+    @settings(max_examples=50)
+    def test_mul_associative_commutative(self, x, y, z):
+        assert (x * y) * z == x * (y * z)
+        assert x * y == y * x
+
+    @given(elements, elements, elements)
+    @settings(max_examples=50)
+    def test_distributive(self, x, y, z):
+        assert x * (y + z) == x * y + x * z
+
+    @given(elements)
+    @settings(max_examples=50)
+    def test_identities(self, x):
+        assert x + Fp2.zero(P) == x
+        assert x * Fp2.one(P) == x
+        assert x + (-x) == Fp2.zero(P)
+
+    @given(nonzero)
+    @settings(max_examples=50)
+    def test_inverse(self, x):
+        assert x * x.inverse() == Fp2.one(P)
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Fp2.zero(P).inverse()
+
+    def test_i_squared_is_minus_one(self):
+        i = Fp2(0, 1, P)
+        assert i * i == Fp2(-1, 0, P)
+
+
+class TestPowAndFrobenius:
+    @given(nonzero)
+    @settings(max_examples=30)
+    def test_pow_matches_repeated_mul(self, x):
+        acc = Fp2.one(P)
+        for _ in range(7):
+            acc = acc * x
+        assert x.pow(7) == acc
+
+    @given(nonzero)
+    @settings(max_examples=30)
+    def test_negative_exponent(self, x):
+        assert x.pow(-3) == x.pow(3).inverse()
+
+    @given(nonzero)
+    @settings(max_examples=30)
+    def test_frobenius_is_conjugation(self, x):
+        """x^p == conj(x) in F_p[i] — what the final exponentiation uses."""
+        assert x.pow(P) == x.conjugate()
+
+    @given(nonzero)
+    @settings(max_examples=30)
+    def test_fermat(self, x):
+        """x^(p^2 - 1) == 1 for nonzero x."""
+        assert x.pow(P * P - 1).is_one()
+
+    @given(elements)
+    @settings(max_examples=30)
+    def test_norm_multiplicative(self, x):
+        y = Fp2(17, 23, P)
+        assert (x * y).norm() == (x.norm() * y.norm()) % P
+
+    @given(elements, st.integers(min_value=0, max_value=P - 1))
+    @settings(max_examples=30)
+    def test_scalar_mul(self, x, k):
+        assert x.scalar_mul(k) == x * Fp2.from_base(k, P)

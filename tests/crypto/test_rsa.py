@@ -1,0 +1,133 @@
+"""Tests for the from-scratch RSA: keygen, hybrid encryption, signatures."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import rsa
+
+
+class TestKeygen:
+    def test_modulus_size(self, rsa_key):
+        assert rsa_key.n.bit_length() == 512
+
+    def test_key_identity(self, rsa_key, rng):
+        m = rng.randrange(2, rsa_key.n)
+        assert rsa_key.raw_decrypt(rsa_key.public.raw_encrypt(m)) == m
+
+    def test_crt_consistency(self, rsa_key):
+        assert rsa_key.p * rsa_key.q == rsa_key.n
+        phi = (rsa_key.p - 1) * (rsa_key.q - 1)
+        assert (rsa_key.d * rsa_key.e) % phi == 1
+
+    def test_distinct_keys(self, rsa_key, rsa_key_other):
+        assert rsa_key.n != rsa_key_other.n
+
+    def test_rejects_tiny_modulus(self, rng):
+        with pytest.raises(ValueError):
+            rsa.generate_keypair(8, rng)
+
+    def test_fingerprint_stable_and_distinct(self, rsa_key, rsa_key_other):
+        assert rsa_key.public.fingerprint() == rsa_key.public.fingerprint()
+        assert rsa_key.public.fingerprint() != rsa_key_other.public.fingerprint()
+        assert len(rsa_key.public.fingerprint()) == 16
+
+
+class TestRawOps:
+    def test_range_validation(self, rsa_key):
+        with pytest.raises(ValueError):
+            rsa_key.public.raw_encrypt(rsa_key.n)
+        with pytest.raises(ValueError):
+            rsa_key.raw_decrypt(-1)
+
+    def test_sign_is_decrypt(self, rsa_key):
+        m = 123456789
+        assert rsa_key.raw_sign(m) == rsa_key.raw_decrypt(m)
+
+
+class TestHybridEncryption:
+    @given(st.binary(min_size=0, max_size=5000))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, plaintext):
+        rng = random.Random(42)
+        key = _shared_key()
+        ct = rsa.encrypt(key.public, plaintext, rng)
+        assert rsa.decrypt(key, ct) == plaintext
+
+    def test_ciphertext_structure(self, rsa_key, rng):
+        pt = b"hello world"
+        ct = rsa.encrypt(rsa_key.public, pt, rng)
+        assert len(ct) == rsa_key.public.modulus_bytes + len(pt) + 32
+
+    def test_randomized(self, rsa_key, rng):
+        pt = b"same message"
+        assert rsa.encrypt(rsa_key.public, pt, rng) != rsa.encrypt(rsa_key.public, pt, rng)
+
+    def test_tamper_detection(self, rsa_key, rng):
+        ct = bytearray(rsa.encrypt(rsa_key.public, b"payload-bytes", rng))
+        ct[70] ^= 0x01  # flip a bit in the masked payload
+        with pytest.raises(ValueError):
+            rsa.decrypt(rsa_key, bytes(ct))
+
+    def test_wrong_key_fails(self, rsa_key, rsa_key_other, rng):
+        ct = rsa.encrypt(rsa_key.public, b"secret", rng)
+        with pytest.raises(ValueError):
+            rsa.decrypt(rsa_key_other, ct)
+
+    def test_truncated_ciphertext(self, rsa_key, rng):
+        ct = rsa.encrypt(rsa_key.public, b"x", rng)
+        with pytest.raises(ValueError):
+            rsa.decrypt(rsa_key, ct[:10])
+
+    def test_rejects_tiny_modulus_for_hybrid(self, rng):
+        small = rsa.generate_keypair(128, rng)
+        with pytest.raises(ValueError):
+            rsa.encrypt(small.public, b"x", rng)
+
+
+class TestKeystream:
+    def test_deterministic_and_length(self):
+        assert rsa.keystream(b"seed", 100) == rsa.keystream(b"seed", 100)
+        assert len(rsa.keystream(b"seed", 777)) == 777
+
+    def test_xor_mask_involution(self):
+        data = b"the quick brown fox"
+        assert rsa.xor_mask(rsa.xor_mask(data, b"k"), b"k") == data
+
+
+class TestSignatures:
+    def test_sign_verify(self, rsa_key):
+        sig = rsa.sign(rsa_key, b"message")
+        assert rsa.verify(rsa_key.public, b"message", sig)
+
+    def test_wrong_message(self, rsa_key):
+        sig = rsa.sign(rsa_key, b"message")
+        assert not rsa.verify(rsa_key.public, b"other", sig)
+
+    def test_wrong_key(self, rsa_key, rsa_key_other):
+        sig = rsa.sign(rsa_key, b"message")
+        assert not rsa.verify(rsa_key_other.public, b"message", sig)
+
+    def test_out_of_range_signature(self, rsa_key):
+        assert not rsa.verify(rsa_key.public, b"m", rsa_key.n + 5)
+        assert not rsa.verify(rsa_key.public, b"m", -1)
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_any_message(self, message):
+        key = _shared_key()
+        assert rsa.verify(key.public, message, rsa.sign(key, message))
+
+
+_KEY_CACHE: list[rsa.RSAPrivateKey] = []
+
+
+def _shared_key() -> rsa.RSAPrivateKey:
+    """One 512-bit key shared across hypothesis examples (keygen is slow)."""
+    if not _KEY_CACHE:
+        _KEY_CACHE.append(rsa.generate_keypair(512, random.Random(777)))
+    return _KEY_CACHE[0]

@@ -1,0 +1,115 @@
+"""Soundness-grinding tests for the cut-and-choose proofs.
+
+A cheating prover without the witness can still *guess*: prepare each
+round for one of the two challenge bits and hope Fiat–Shamir deals
+those bits.  Success probability is ``2^-rounds`` per transcript, and
+the prover can grind transcripts by varying a salt.  These tests build
+that exact cheater for the committed-double-log edge proof and check
+both sides of the design contract:
+
+* at tiny round counts, grinding succeeds quickly (soundness error is
+  real, not an implementation accident);
+* the expected grinding work doubles per round (measured);
+* at the production round count the forged proof never lands within a
+  generous attempt budget.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.hashing import Transcript
+from repro.crypto.zkp.committed_double_log import (
+    CommittedEdgeProof,
+    verify_edge,
+)
+from repro.ecash.tree import GEN_COMMIT_G, GEN_COMMIT_H, GEN_LEFT
+
+
+@pytest.fixture()
+def false_statement(tower3, rng):
+    """Commitments whose openings do NOT satisfy the derivation."""
+    pg, cg = tower3.group(1), tower3.group(2)
+    g1, h1 = tower3.extra_generators[1][GEN_COMMIT_G], tower3.extra_generators[1][GEN_COMMIT_H]
+    g2, h2 = tower3.extra_generators[2][GEN_COMMIT_G], tower3.extra_generators[2][GEN_COMMIT_H]
+    gamma = tower3.extra_generators[1][GEN_LEFT]
+    parent = rng.randrange(1, pg.q)
+    wrong_child = (pg.exp(gamma, parent) + 1) % cg.q or 1  # NOT γ^parent
+    r1, r2 = pg.random_exponent(rng), cg.random_exponent(rng)
+    c_parent = pg.mul(pg.exp(g1, parent), pg.exp(h1, r1))
+    c_child = cg.mul(cg.exp(g2, wrong_child), cg.exp(h2, r2))
+    return dict(pg=pg, cg=cg, g1=g1, h1=h1, g2=g2, h2=h2, gamma=gamma,
+                parent=parent, r1=r1, r2=r2, wrong_child=wrong_child,
+                c_parent=c_parent, c_child=c_child)
+
+
+def _grind_forgery(s, rounds: int, max_attempts: int, seed: int) -> int | None:
+    """Try to forge an edge proof for the false statement.
+
+    Strategy: prepare every round for challenge bit 0 (honest-looking
+    ``u, τ`` from fresh nonces — bit 0 only checks recomputation, which
+    a witnessless prover CAN satisfy).  The forgery lands iff
+    Fiat–Shamir deals all-zero bits; grind by re-randomizing nonces.
+    Returns the attempt count on success, None when the budget runs out.
+    """
+    rng = random.Random(seed)
+    pg, cg = s["pg"], s["cg"]
+    for attempt in range(1, max_attempts + 1):
+        us, ts, responses = [], [], []
+        for _ in range(rounds):
+            w, v = rng.randrange(pg.q), rng.randrange(pg.q)
+            sigma = rng.randrange(cg.q)
+            us.append(pg.mul(pg.exp(s["g1"], w), pg.exp(s["h1"], v)))
+            ts.append(cg.mul(cg.exp(s["g2"], pg.exp(s["gamma"], w)),
+                             cg.exp(s["h2"], sigma)))
+            responses.append((w, v, sigma))
+        proof = CommittedEdgeProof(
+            commitments_u=tuple(us), commitments_t=tuple(ts),
+            responses=tuple(responses),
+        )
+        transcript = Transcript(b"forge-%d" % attempt)  # grinding = new domain
+        if verify_edge(pg, s["g1"], s["h1"], s["c_parent"], s["gamma"],
+                       cg, s["g2"], s["h2"], s["c_child"], proof,
+                       Transcript(b"forge-%d" % attempt)):
+            return attempt
+    return None
+
+
+class TestGrinding:
+    def test_tiny_rounds_forgeable(self, false_statement):
+        """rounds=2 ⇒ success probability 1/4 per transcript: grinding
+        must land well within a few dozen attempts."""
+        attempt = _grind_forgery(false_statement, rounds=2, max_attempts=200, seed=1)
+        assert attempt is not None and attempt <= 100
+
+    def test_work_scales_with_rounds(self, false_statement):
+        """Mean grinding work ≈ 2^rounds: measure at 1 vs 3 rounds."""
+        costs = {}
+        for rounds in (1, 3):
+            attempts = [
+                _grind_forgery(false_statement, rounds=rounds,
+                               max_attempts=1000, seed=100 * rounds + i)
+                for i in range(10)
+            ]
+            assert all(a is not None for a in attempts)
+            costs[rounds] = sum(attempts) / len(attempts)
+        # expectation 2 vs 8; generous band for 10 samples
+        assert costs[3] > costs[1]
+
+    def test_production_rounds_resist_grinding(self, false_statement):
+        """At 24 rounds, 300 grinding attempts (vs expected 2^24) fail."""
+        assert _grind_forgery(false_statement, rounds=24,
+                              max_attempts=300, seed=7) is None
+
+    def test_honest_bits_occasionally_nonzero(self, false_statement):
+        """Sanity: the challenge really varies across transcripts (the
+        forgery only works on the all-zeros draw)."""
+        pg = false_statement["pg"]
+        bits = set()
+        for i in range(8):
+            t = Transcript(b"probe-%d" % i)
+            t.absorb_int(i)
+            bits.add(t.challenge(4))
+        assert len(bits) > 1

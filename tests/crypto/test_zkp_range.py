@@ -1,0 +1,129 @@
+"""Tests for the bit-decomposition range proof."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import Transcript
+from repro.crypto.zkp.range_proof import (
+    RangeProof,
+    commit_value,
+    prove_range,
+    verify_range,
+)
+
+
+def t(domain=b"range"):
+    return Transcript(domain)
+
+
+@pytest.fixture()
+def bases(schnorr_group):
+    return schnorr_group.g, schnorr_group.derive_generator(b"range-h")
+
+
+class TestRangeProof:
+    @pytest.mark.parametrize("value", [0, 1, 7, 8, 15])
+    def test_accepts_in_range(self, schnorr_group, bases, rng, value):
+        g, h = bases
+        c, r = commit_value(schnorr_group, g, h, value, rng)
+        proof = prove_range(schnorr_group, g, h, c, value, r, bits=4, rng=rng, transcript=t())
+        assert verify_range(schnorr_group, g, h, c, proof, t())
+
+    def test_prover_rejects_out_of_range(self, schnorr_group, bases, rng):
+        g, h = bases
+        c, r = commit_value(schnorr_group, g, h, 16, rng)
+        with pytest.raises(ValueError):
+            prove_range(schnorr_group, g, h, c, 16, r, bits=4, rng=rng, transcript=t())
+
+    def test_prover_rejects_bad_opening(self, schnorr_group, bases, rng):
+        g, h = bases
+        c, r = commit_value(schnorr_group, g, h, 3, rng)
+        with pytest.raises(ValueError):
+            prove_range(schnorr_group, g, h, c, 4, r, bits=4, rng=rng, transcript=t())
+
+    def test_rejects_wrong_commitment(self, schnorr_group, bases, rng):
+        g, h = bases
+        c, r = commit_value(schnorr_group, g, h, 5, rng)
+        proof = prove_range(schnorr_group, g, h, c, 5, r, bits=4, rng=rng, transcript=t())
+        other = schnorr_group.mul(c, g)
+        assert not verify_range(schnorr_group, g, h, other, proof, t())
+
+    def test_rejects_tampered_bit_commitment(self, schnorr_group, bases, rng):
+        g, h = bases
+        c, r = commit_value(schnorr_group, g, h, 5, rng)
+        proof = prove_range(schnorr_group, g, h, c, 5, r, bits=4, rng=rng, transcript=t())
+        cs = list(proof.bit_commitments)
+        cs[0] = schnorr_group.mul(cs[0], g)
+        bad = dataclasses.replace(proof, bit_commitments=tuple(cs))
+        assert not verify_range(schnorr_group, g, h, c, bad, t())
+
+    def test_rejects_transcript_mismatch(self, schnorr_group, bases, rng):
+        g, h = bases
+        c, r = commit_value(schnorr_group, g, h, 9, rng)
+        proof = prove_range(schnorr_group, g, h, c, 9, r, bits=4, rng=rng, transcript=t(b"a"))
+        assert not verify_range(schnorr_group, g, h, c, proof, t(b"b"))
+
+    def test_rejects_empty_proof(self, schnorr_group, bases, rng):
+        g, h = bases
+        c, _ = commit_value(schnorr_group, g, h, 1, rng)
+        empty = RangeProof(bit_commitments=(), bit_proofs=())
+        assert not verify_range(schnorr_group, g, h, c, empty, t())
+
+    def test_rejects_dropped_bit(self, schnorr_group, bases, rng):
+        g, h = bases
+        c, r = commit_value(schnorr_group, g, h, 5, rng)
+        proof = prove_range(schnorr_group, g, h, c, 5, r, bits=4, rng=rng, transcript=t())
+        bad = dataclasses.replace(
+            proof,
+            bit_commitments=proof.bit_commitments[:-1],
+            bit_proofs=proof.bit_proofs[:-1],
+        )
+        assert not verify_range(schnorr_group, g, h, c, bad, t())
+
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_property(self, value):
+        import random
+
+        from repro.crypto.groups import SchnorrGroup
+
+        rng = random.Random(value)
+        group = _shared_group()
+        g, h = group.g, group.derive_generator(b"range-h")
+        c, r = commit_value(group, g, h, value, rng)
+        proof = prove_range(group, g, h, c, value, r, bits=8, rng=rng, transcript=t())
+        assert verify_range(group, g, h, c, proof, t())
+
+    def test_hiding(self, schnorr_group, bases, rng):
+        """Commitments to different in-range values are indistinguishable
+        in form (same structure, different randomness)."""
+        g, h = bases
+        c1, r1 = commit_value(schnorr_group, g, h, 3, rng)
+        c2, r2 = commit_value(schnorr_group, g, h, 3, rng)
+        assert c1 != c2  # randomized
+
+    def test_encoded_size_scales_with_bits(self, schnorr_group, bases, rng):
+        g, h = bases
+        c4, r4 = commit_value(schnorr_group, g, h, 5, rng)
+        p4 = prove_range(schnorr_group, g, h, c4, 5, r4, bits=4, rng=rng, transcript=t())
+        c8, r8 = commit_value(schnorr_group, g, h, 5, rng)
+        p8 = prove_range(schnorr_group, g, h, c8, 5, r8, bits=8, rng=rng, transcript=t())
+        assert p8.encoded_size(16, 16) == 2 * p4.encoded_size(16, 16)
+
+
+_GROUP_CACHE = []
+
+
+def _shared_group():
+    if not _GROUP_CACHE:
+        import random
+
+        from repro.crypto.groups import SchnorrGroup
+
+        _GROUP_CACHE.append(SchnorrGroup.generate(64, random.Random(4242)))
+    return _GROUP_CACHE[0]

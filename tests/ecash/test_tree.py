@@ -1,0 +1,194 @@
+"""Unit + property tests for the coin tree and node-key derivation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecash.tree import CoinTree, NodeId, derive_key_chain, leaf_serials, node_key
+
+LEVELS = st.integers(min_value=0, max_value=8)
+
+
+def node_ids(max_level=8):
+    return st.integers(min_value=0, max_value=max_level).flatmap(
+        lambda lv: st.tuples(st.just(lv), st.integers(min_value=0, max_value=(1 << lv) - 1))
+    ).map(lambda t: NodeId(*t))
+
+
+class TestNodeId:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeId(-1, 0)
+        with pytest.raises(ValueError):
+            NodeId(2, 4)
+
+    def test_value(self):
+        assert NodeId(0, 0).value(3) == 8
+        assert NodeId(3, 5).value(3) == 1
+        with pytest.raises(ValueError):
+            NodeId(4, 0).value(3)
+
+    def test_parent_child_roundtrip(self):
+        n = NodeId(3, 5)
+        assert n.parent.child(n.index & 1) == n
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(ValueError):
+            _ = NodeId(0, 0).parent
+
+    def test_child_bit_validation(self):
+        with pytest.raises(ValueError):
+            NodeId(0, 0).child(2)
+
+    def test_path_bits(self):
+        assert NodeId(0, 0).path_bits() == ()
+        assert NodeId(3, 0b101).path_bits() == (1, 0, 1)
+
+    def test_ancestors(self):
+        n = NodeId(3, 6)
+        assert list(n.ancestors()) == [NodeId(2, 3), NodeId(1, 1), NodeId(0, 0)]
+
+    @given(node_ids())
+    @settings(max_examples=50)
+    def test_ancestry_reflexive_conflict(self, n):
+        assert n.conflicts_with(n)
+        assert n.is_ancestor_of(n)
+
+    @given(node_ids(6))
+    @settings(max_examples=50)
+    def test_root_ancestor_of_everything(self, n):
+        assert NodeId(0, 0).is_ancestor_of(n)
+
+    @given(node_ids(6))
+    @settings(max_examples=50)
+    def test_parent_child_conflict(self, n):
+        left, right = n.child(0), n.child(1)
+        assert n.conflicts_with(left) and n.conflicts_with(right)
+        assert not left.conflicts_with(right)
+
+    @given(node_ids(6), node_ids(6))
+    @settings(max_examples=80)
+    def test_conflict_iff_leaf_spans_overlap(self, a, b):
+        """Conflicts are exactly leaf-span intersections — the invariant
+        the bank's serial-expansion detection relies on."""
+        level = 7
+        sa, sb = set(a.leaf_span(level)), set(b.leaf_span(level))
+        assert a.conflicts_with(b) == bool(sa & sb)
+
+    def test_leaf_span(self):
+        assert list(NodeId(1, 1).leaf_span(3)) == [4, 5, 6, 7]
+        assert list(NodeId(3, 2).leaf_span(3)) == [2]
+
+    def test_ordering(self):
+        assert NodeId(1, 0) < NodeId(1, 1) < NodeId(2, 0)
+
+
+class TestCoinTree:
+    def test_total_value(self):
+        assert CoinTree(4).total_value == 16
+
+    def test_nodes_at(self):
+        tree = CoinTree(3)
+        assert len(list(tree.nodes_at(2))) == 4
+        with pytest.raises(ValueError):
+            list(tree.nodes_at(4))
+
+    def test_all_nodes_count(self):
+        assert len(list(CoinTree(3).all_nodes())) == 2**4 - 1
+
+    def test_node_for_denomination(self):
+        tree = CoinTree(3)
+        assert tree.node_for_denomination(8) == NodeId(0, 0)
+        assert tree.node_for_denomination(1, index=5) == NodeId(3, 5)
+        with pytest.raises(ValueError):
+            tree.node_for_denomination(3)
+        with pytest.raises(ValueError):
+            tree.node_for_denomination(16)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoinTree(-1)
+
+
+class TestKeyDerivation:
+    def test_chain_length(self, tower3, rng):
+        secret = rng.randrange(1, tower3.group(0).q)
+        keys = derive_key_chain(tower3, secret, NodeId(3, 5))
+        assert len(keys) == 4
+
+    def test_deterministic(self, tower3, rng):
+        secret = rng.randrange(1, tower3.group(0).q)
+        n = NodeId(2, 3)
+        assert node_key(tower3, secret, n) == node_key(tower3, secret, n)
+
+    def test_sibling_keys_differ(self, tower3, rng):
+        secret = rng.randrange(1, tower3.group(0).q)
+        assert node_key(tower3, secret, NodeId(2, 0)) != node_key(tower3, secret, NodeId(2, 1))
+
+    def test_different_secrets_different_keys(self, tower3, rng):
+        n = NodeId(1, 1)
+        k1 = node_key(tower3, 12345, n)
+        k2 = node_key(tower3, 12346, n)
+        assert k1 != k2
+
+    def test_keys_live_in_their_storey(self, tower3, rng):
+        secret = rng.randrange(1, tower3.group(0).q)
+        keys = derive_key_chain(tower3, secret, NodeId(3, 7))
+        for storey, key in enumerate(keys):
+            assert tower3.group(storey).contains(key)
+
+    def test_rejects_secret_out_of_range(self, tower3):
+        with pytest.raises(ValueError):
+            derive_key_chain(tower3, 0, NodeId(0, 0))
+        with pytest.raises(ValueError):
+            derive_key_chain(tower3, tower3.group(0).q, NodeId(0, 0))
+
+    def test_rejects_node_too_deep(self, tower3):
+        with pytest.raises(ValueError):
+            derive_key_chain(tower3, 5, NodeId(4, 0))
+
+
+class TestLeafSerials:
+    def test_leaf_count(self, tower3, rng):
+        secret = rng.randrange(1, tower3.group(0).q)
+        for level in range(4):
+            n = NodeId(level, 0)
+            serials = leaf_serials(tower3, n, node_key(tower3, secret, n), 3)
+            assert len(serials) == 1 << (3 - level)
+
+    def test_conflicting_nodes_share_serials(self, tower3, rng):
+        """The double-spend detection invariant."""
+        secret = rng.randrange(1, tower3.group(0).q)
+        parent = NodeId(1, 0)
+        child = NodeId(2, 1)  # descendant of parent
+        s_parent = set(leaf_serials(tower3, parent, node_key(tower3, secret, parent), 3))
+        s_child = set(leaf_serials(tower3, child, node_key(tower3, secret, child), 3))
+        assert s_child <= s_parent
+
+    def test_disjoint_nodes_disjoint_serials(self, tower3, rng):
+        secret = rng.randrange(1, tower3.group(0).q)
+        a, b = NodeId(1, 0), NodeId(1, 1)
+        sa = set(leaf_serials(tower3, a, node_key(tower3, secret, a), 3))
+        sb = set(leaf_serials(tower3, b, node_key(tower3, secret, b), 3))
+        assert sa.isdisjoint(sb)
+
+    def test_leaf_node_single_serial_is_its_key(self, tower3, rng):
+        secret = rng.randrange(1, tower3.group(0).q)
+        leaf = NodeId(3, 2)
+        key = node_key(tower3, secret, leaf)
+        assert leaf_serials(tower3, leaf, key, 3) == [key]
+
+    def test_two_coins_disjoint_serials(self, tower3):
+        """Different coin secrets must never collide (w.h.p.)."""
+        root = NodeId(0, 0)
+        s1 = set(leaf_serials(tower3, root, node_key(tower3, 1111, root), 3))
+        s2 = set(leaf_serials(tower3, root, node_key(tower3, 2222, root), 3))
+        assert s1.isdisjoint(s2)
+
+    def test_depth_validation(self, tower3):
+        with pytest.raises(ValueError):
+            leaf_serials(tower3, NodeId(2, 0), 5, 1)  # node deeper than tree
+        with pytest.raises(ValueError):
+            leaf_serials(tower3, NodeId(0, 0), 5, 9)  # tree deeper than tower

@@ -1,0 +1,152 @@
+"""Tests for the wallet's buddy allocation over the coin tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecash.tree import CoinTree, NodeId
+from repro.ecash.wallet import InsufficientFunds, Wallet
+
+
+def make_wallet(level=3) -> Wallet:
+    return Wallet(tree=CoinTree(level), secret=12345)
+
+
+class TestBalances:
+    def test_fresh_wallet(self):
+        w = make_wallet(3)
+        assert w.total_value == 8 and w.balance == 8 and w.spent_value == 0
+
+    def test_balance_after_allocations(self):
+        w = make_wallet(3)
+        w.allocate(4)
+        w.allocate(2)
+        assert w.balance == 2 and w.spent_value == 6
+
+
+class TestAllocate:
+    def test_allocates_correct_level(self):
+        w = make_wallet(3)
+        assert w.allocate(8).level == 0
+        w = make_wallet(3)
+        assert w.allocate(1).level == 3
+
+    def test_rejects_non_power_of_two(self):
+        w = make_wallet(3)
+        with pytest.raises(ValueError):
+            w.allocate(3)
+        with pytest.raises(ValueError):
+            w.allocate(0)
+
+    def test_rejects_oversized(self):
+        w = make_wallet(2)
+        with pytest.raises(InsufficientFunds):
+            w.allocate(8)
+
+    def test_no_conflicting_allocations(self):
+        w = make_wallet(3)
+        nodes = [w.allocate(1) for _ in range(8)]
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1 :]:
+                assert not a.conflicts_with(b)
+
+    def test_exhaustion(self):
+        w = make_wallet(2)
+        w.allocate(4)
+        with pytest.raises(InsufficientFunds):
+            w.allocate(1)
+
+    def test_fragmentation(self):
+        """Allocating all leaves blocks any larger node even though the
+        total balance would suffice."""
+        w = make_wallet(2)
+        w.allocate(1)
+        w.allocate(1)
+        w.allocate(1)
+        assert w.balance == 1
+        with pytest.raises(InsufficientFunds):
+            w.allocate(2)  # both level-1 nodes are now partially used
+
+    def test_deterministic_lowest_index_first(self):
+        w = make_wallet(3)
+        assert w.allocate(1) == NodeId(3, 0)
+        assert w.allocate(1) == NodeId(3, 1)
+
+    @given(st.lists(st.sampled_from([1, 2, 4]), min_size=1, max_size=8))
+    @settings(max_examples=60)
+    def test_never_overspends(self, denoms):
+        w = make_wallet(3)
+        allocated = 0
+        for d in denoms:
+            try:
+                w.allocate(d)
+                allocated += d
+            except InsufficientFunds:
+                pass
+        assert allocated == w.spent_value <= w.total_value
+
+
+class TestAllocateAmount:
+    def test_atomic_success(self):
+        w = make_wallet(3)
+        nodes = w.allocate_amount([4, 2, 1])
+        assert len(nodes) == 3 and w.balance == 1
+
+    def test_skips_zero_slots(self):
+        w = make_wallet(3)
+        nodes = w.allocate_amount([4, 0, 0, 1])
+        assert len(nodes) == 2
+
+    def test_atomic_rollback(self):
+        w = make_wallet(2)
+        with pytest.raises(InsufficientFunds):
+            w.allocate_amount([4, 1])  # 4 takes the root, 1 then impossible
+        assert w.balance == 4 and not w.spent
+
+
+class TestAvailability:
+    def test_is_available_respects_ancestors(self):
+        w = make_wallet(3)
+        w.allocate(8)  # root
+        assert not w.is_available(NodeId(2, 1))
+
+    def test_is_available_respects_descendants(self):
+        w = make_wallet(3)
+        node = w.allocate(1)
+        assert not w.is_available(NodeId(0, 0))
+        assert not w.is_available(node)
+
+    def test_too_deep_unavailable(self):
+        w = make_wallet(2)
+        assert not w.is_available(NodeId(3, 0))
+
+    def test_available_nodes_listing(self):
+        w = make_wallet(2)
+        w.allocate(2)  # NodeId(1, 0)
+        assert w.available_nodes(1) == [NodeId(1, 1)]
+
+    def test_release(self):
+        w = make_wallet(2)
+        node = w.allocate(4)
+        w.release(node)
+        assert w.balance == 4 and w.is_available(node)
+
+
+class TestRandomizedInvariant:
+    def test_spent_nodes_never_conflict(self):
+        rng = random.Random(7)
+        w = make_wallet(4)
+        for _ in range(60):
+            d = rng.choice([1, 2, 4, 8])
+            try:
+                w.allocate(d)
+            except InsufficientFunds:
+                continue
+        spent = sorted(w.spent)
+        for i, a in enumerate(spent):
+            for b in spent[i + 1 :]:
+                assert not a.conflicts_with(b)

@@ -1,0 +1,118 @@
+"""Tests for the parallel sweep helper and the series/figure renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.parallel import SweepPoint, default_processes, sweep
+from repro.metrics.series import FigureData, Series, render_ascii_plot, render_table
+
+
+def _square(point: SweepPoint) -> int:
+    return point.params * point.params
+
+
+def _seeded(point: SweepPoint) -> tuple[int, int]:
+    return (point.index, point.seed)
+
+
+def _boom(point: SweepPoint) -> None:
+    raise RuntimeError("worker exploded")
+
+
+class TestSweep:
+    def test_in_process_results_ordered(self):
+        assert sweep(_square, [1, 2, 3, 4], processes=1) == [1, 4, 9, 16]
+
+    def test_multiprocess_matches_in_process(self):
+        grid = list(range(8))
+        assert sweep(_square, grid, processes=2) == sweep(_square, grid, processes=1)
+
+    def test_seeds_deterministic_and_distinct(self):
+        a = sweep(_seeded, ["x", "y", "z"], seed=5, processes=1)
+        b = sweep(_seeded, ["x", "y", "z"], seed=5, processes=1)
+        assert a == b
+        assert len({s for (_, s) in a}) == 3
+
+    def test_seed_changes_with_master_seed(self):
+        a = sweep(_seeded, ["x"], seed=1, processes=1)
+        b = sweep(_seeded, ["x"], seed=2, processes=1)
+        assert a != b
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="exploded"):
+            sweep(_boom, [1], processes=1)
+        with pytest.raises(RuntimeError, match="exploded"):
+            sweep(_boom, [1, 2], processes=2)
+
+    def test_empty_grid(self):
+        assert sweep(_square, [], processes=4) == []
+
+    def test_default_processes_positive(self):
+        assert default_processes() >= 1
+
+
+class TestSeries:
+    def test_add_and_accessors(self):
+        s = Series("curve")
+        s.add(1, 2.0)
+        s.add(2, 4.0)
+        assert s.xs() == [1.0, 2.0] and s.ys() == [2.0, 4.0]
+
+    def test_figure_new_series(self):
+        fig = FigureData(title="t", xlabel="x", ylabel="y")
+        s = fig.new_series("a")
+        s.add(0, 1)
+        assert fig.all_points() == [(0.0, 1.0)]
+
+
+class TestRendering:
+    @pytest.fixture()
+    def fig(self):
+        fig = FigureData(title="Fig. X", xlabel="level", ylabel="ms")
+        a = fig.new_series("dec")
+        b = fig.new_series("pbs")
+        for x in range(5):
+            a.add(x, 10.0 * (x + 1))
+            b.add(x, 1.0 * (x + 1))
+        return fig
+
+    def test_table_contains_labels_and_values(self, fig):
+        text = render_table(fig)
+        assert "Fig. X" in text and "dec" in text and "pbs" in text
+        assert "50.000" in text and "5.000" in text
+
+    def test_table_handles_missing_points(self):
+        fig = FigureData(title="t", xlabel="x", ylabel="y")
+        a = fig.new_series("a")
+        b = fig.new_series("b")
+        a.add(1, 1)
+        b.add(2, 2)
+        text = render_table(fig)
+        assert "-" in text
+
+    def test_plot_dimensions(self, fig):
+        text = render_ascii_plot(fig, width=40, height=8)
+        lines = text.splitlines()
+        plot_rows = [l for l in lines if l.startswith("|")]
+        assert len(plot_rows) == 8
+        assert all(len(l) == 41 for l in plot_rows)
+
+    def test_plot_legend_and_markers(self, fig):
+        text = render_ascii_plot(fig)
+        assert "a=dec" in text and "b=pbs" in text
+        assert "a" in "".join(l for l in text.splitlines() if l.startswith("|"))
+
+    def test_log_scale(self, fig):
+        text = render_ascii_plot(fig, logy=True)
+        assert "log10" in text
+
+    def test_empty_figure(self):
+        fig = FigureData(title="empty", xlabel="x", ylabel="y")
+        assert "(no data)" in render_ascii_plot(fig)
+
+    def test_single_point(self):
+        fig = FigureData(title="one", xlabel="x", ylabel="y")
+        fig.new_series("s").add(3, 7)
+        text = render_ascii_plot(fig)
+        assert "one" in text  # degenerate spans must not divide by zero

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo", "dec"])
+        assert args.mechanism == "dec" and args.level == 3
+        assert args.break_algorithm == "epcba"
+
+    def test_attack_subcommands(self):
+        args = build_parser().parse_args(["attack", "denomination", "--trials", "10"])
+        assert args.attack_kind == "denomination" and args.trials == 10
+        args = build_parser().parse_args(["attack", "timing"])
+        assert args.attack_kind == "timing"
+
+    def test_chain_args(self):
+        args = build_parser().parse_args(["chain", "3", "--bits", "10"])
+        assert args.length == 3 and args.bits == 10
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "7", "chain", "2"])
+        assert args.seed == 7
+
+
+class TestCommands:
+    def test_demo_pbs(self, capsys):
+        assert main(["demo", "pbs", "--participants", "1", "--rsa-bits", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "sp-0 balance: 1" in out
+        assert "Operation counts:" in out and "Traffic:" in out
+
+    def test_demo_dec(self, capsys):
+        assert main([
+            "demo", "dec", "--level", "2", "--payment", "2",
+            "--participants", "1", "--rsa-bits", "512",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sp-0 balance: 2" in out
+
+    def test_attack_denomination(self, capsys):
+        assert main(["attack", "denomination", "--trials", "20", "--jobs", "5"]) == 0
+        out = capsys.readouterr().out
+        for strategy in ("none", "pcba", "epcba", "unitary"):
+            assert strategy in out
+
+    def test_attack_timing(self, capsys):
+        assert main(["attack", "timing", "--trials", "20", "--participants", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "immediate deposits" in out and "chance level" in out
+
+    def test_chain(self, capsys):
+        assert main(["chain", "2", "--bits", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "chain of length 2" in out
+
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--max-level", "1", "--chain-bits", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "chain-search" in out and "precomputed" in out
+
+    def test_fig5_small(self, capsys):
+        assert main(["fig5", "--max-rounds", "2", "--step", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out and "PPMSdec" in out and "PPMSpbs" in out
+
+
+class TestReport:
+    def test_report_command(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["report", "--trials", "20", "--rounds", "1",
+                     "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        for marker in ("Fig. 2", "Fig. 3", "Fig. 4", "Fig. 5",
+                       "Table I", "Table II", "Privacy experiments"):
+            assert marker in text
+
+
+class TestCombinedAttackCommand:
+    def test_combined_table(self, capsys):
+        assert main(["attack", "combined", "--trials", "5",
+                     "--participants", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "both (the paper's)" in out
+        assert "cash break only" in out

@@ -1,0 +1,44 @@
+"""Smoke coverage for the example scripts.
+
+Full example runs take tens of seconds each (they use bench-sized
+parameters on purpose), so the suite compiles every script and executes
+only the fast one end-to-end; the others are exercised implicitly by
+the protocol/integration tests that cover the same code paths.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in ALL_EXAMPLES}
+    assert {"quickstart.py", "hiv_study_market.py", "noise_mapping_unitary.py",
+            "denomination_attack_demo.py", "market_day.py",
+            "resilient_market.py"} <= names
+
+
+@pytest.mark.parametrize("script", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(script):
+    py_compile.compile(str(script), doraise=True)
+
+
+def test_denomination_demo_runs():
+    """The fastest example, run for real with a tiny trial count."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "denomination_attack_demo.py"), "20"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "unitary" in result.stdout
+    assert "ident%" in result.stdout

@@ -1,0 +1,57 @@
+"""Golden regression vectors.
+
+These pin exact outputs of the deterministic algorithms so that an
+accidental change to a hash domain, a derivation rule, the codec wire
+format, or the precomputed chain table shows up as a loud, specific
+failure instead of a silent incompatibility (old snapshots and exported
+parameter blobs must stay readable across versions).
+
+When a change is *intentional*, update the vector and bump the affected
+wire-format magic (see ``repro/core/ledger.py`` and
+``repro/ecash/params_io.py``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto import rsa
+from repro.crypto.cunningham import known_chain
+from repro.crypto.hashing import hash_to_range, sha256
+from repro.crypto.partial_blind import derive_exponent
+from repro.net.codec import decode, encode
+
+
+class TestGoldenVectors:
+    def test_known_chain_tail_derivation(self):
+        """The tail-carving rule is part of the parameter format."""
+        assert known_chain(13).start == 190810084461084659
+        assert known_chain(14).start == 95405042230542329
+
+    def test_rsa_keygen_deterministic(self):
+        """Seeded keygen is the reproducibility contract of the library."""
+        k = rsa.generate_keypair(256, random.Random(12345))
+        assert k.n == (
+            69287938976617489468353787843249337093577349545720816361171578347031493102321
+        )
+
+    def test_transcript_hash_domain(self):
+        assert sha256(b"repro", b"golden").hex() == (
+            "864b8b35523458848c31572525ffe0d1638f2ae13feab086584e3ea649b25b03"
+        )
+
+    def test_hash_to_range(self):
+        assert hash_to_range(10**12, b"golden") == 481257678002
+
+    def test_pbs_exponent_derivation(self):
+        """Signer and requester derive this independently — it is wire
+        format in all but name."""
+        assert derive_exponent(b"golden-serial", 0) == (
+            249109602954405820709804122971502216643
+        )
+
+    def test_codec_wire_format(self):
+        value = {"a": [1, (2, b"x")], "b": -3.5}
+        blob = bytes.fromhex("0902060161070203010108020301020501780601620bc00c000000000000")
+        assert encode(value) == blob
+        assert decode(blob) == value
