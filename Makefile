@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install dev test bench bench-json report examples lint-imports clean
+.PHONY: install dev test bench bench-json service-bench report examples lint-imports clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -21,6 +21,12 @@ bench:
 
 bench-json:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only --benchmark-json=bench_results.json
+
+service-bench:
+	$(PYTHON) -m pytest benchmarks/bench_service_throughput.py --benchmark-only --benchmark-json=bench_results.json
+
+lint-imports:
+	$(PYTHON) tools/lint_imports.py
 
 report:
 	$(PYTHON) -m repro.cli report --out experiment_report.md

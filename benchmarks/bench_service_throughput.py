@@ -1,0 +1,168 @@
+"""Service-level deposit throughput: sharded+batched vs batch-size-1.
+
+The acceptance experiment for :mod:`repro.service`: the same minted
+deposit workload is replayed through two market-service
+configurations —
+
+* **baseline** — one shard, ``max_batch=1``, per-token
+  :func:`~repro.ecash.spend.verify_spend` (5 pairings per token);
+* **batched** — four shards, ``max_batch=64``,
+  :func:`~repro.ecash.batch.batch_verify_spends` (4 pairings per batch
+  plus 2 per token, with shared-window multi-exponentiation).
+
+The speedup, both wall times and the achieved throughputs are recorded
+in ``benchmark.extra_info`` (landing in ``--benchmark-json`` output),
+and the batched configuration must be at least **2×** the baseline.
+
+A companion (non-timed) overload run drives the batched service past
+its admission bound with guaranteed double-spend replays: the service
+must shed with explicit ``BUSY`` replies, admit **zero**
+double-deposits, and still pass the cross-shard audit.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.crypto.cl_sig import cl_keygen
+from repro.ecash.dec import setup
+from repro.service import (
+    AdmissionController,
+    MarketService,
+    ShardedBank,
+    VerificationBatcher,
+)
+from repro.service.loadgen import mint_deposit_traffic, run_trace
+
+#: deposits per replay; also the batched configuration's batch size
+N_DEPOSITS = 64
+#: pairing subgroup size — large enough that pairing cost (what
+#: batching amortizes) dominates the sigma-protocol bookkeeping
+SECURITY_BITS = 64
+REQUIRED_SPEEDUP = 2.0
+
+
+@pytest.fixture(scope="module")
+def service_workload(bench_rng):
+    """One minted deposit workload, shared by every configuration.
+
+    Tokens bind to the bank keypair, so both configurations are built
+    around the same keypair and the same pre-funded account book.
+    """
+    params = setup(3, bench_rng, security_bits=SECURITY_BITS, edge_rounds=6)
+    keypair = cl_keygen(params.backend, bench_rng)
+    mint_bank = ShardedBank(params, keypair, random.Random(1), n_shards=1)
+    requests = mint_deposit_traffic(
+        MarketService(mint_bank),
+        random.Random(2),
+        n_accounts=8,
+        n_deposits=N_DEPOSITS,
+        node_level=1,
+    )
+    arrivals = [0.002 * i for i in range(len(requests))]
+    return params, keypair, mint_bank.merged(), requests, arrivals
+
+
+def _make_service(workload, *, n_shards, max_batch, pairing_batch,
+                  admission=None) -> MarketService:
+    params, keypair, book, _, _ = workload
+    bank = ShardedBank(params, keypair, random.Random(3), n_shards=n_shards)
+    for aid, balance in book.accounts.items():
+        bank.open_account(aid, balance)
+    for aid in book.withdrawals:
+        bank.account_home(aid).withdrawals.append(aid)
+    batcher = VerificationBatcher(
+        params, keypair, max_batch=max_batch, processes=1,
+        pairing_batch=pairing_batch, seed=5,
+    )
+    return MarketService(
+        bank, batcher=batcher,
+        admission=admission if admission is not None else AdmissionController(),
+    )
+
+
+def _replay(workload, **config) -> float:
+    """Wall seconds to serve the whole workload under *config*."""
+    _, _, _, requests, arrivals = workload
+    service = _make_service(workload, **config)
+    report = run_trace(service, requests, arrivals)
+    assert report.ok == len(requests), report
+    return report.wall_elapsed
+
+
+BASELINE = dict(n_shards=1, max_batch=1, pairing_batch=False)
+BATCHED = dict(n_shards=4, max_batch=N_DEPOSITS, pairing_batch=True)
+
+
+def test_single_shard_batch1_deposits(benchmark, service_workload):
+    wall = benchmark.pedantic(
+        lambda: _replay(service_workload, **BASELINE), rounds=2, iterations=1
+    )
+    benchmark.extra_info.update(BASELINE, deposits=N_DEPOSITS)
+
+
+def test_sharded_batched_deposits_2x(benchmark, service_workload):
+    """The acceptance assertion: batched multi-shard ≥ 2× batch-size-1."""
+    baseline_wall = min(_replay(service_workload, **BASELINE) for _ in range(2))
+    benchmark.pedantic(
+        lambda: _replay(service_workload, **BATCHED), rounds=2, iterations=1
+    )
+    batched_wall = benchmark.stats.stats.min
+    speedup = baseline_wall / batched_wall
+    benchmark.extra_info.update(
+        BATCHED,
+        deposits=N_DEPOSITS,
+        baseline_wall_s=round(baseline_wall, 4),
+        batched_wall_s=round(batched_wall, 4),
+        baseline_throughput_rps=round(N_DEPOSITS / baseline_wall, 2),
+        batched_throughput_rps=round(N_DEPOSITS / batched_wall, 2),
+        speedup=round(speedup, 3),
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched configuration reached only {speedup:.2f}x over "
+        f"single-shard batch-1 (required {REQUIRED_SPEEDUP}x)"
+    )
+
+
+def test_overload_sheds_busy_and_admits_no_double_deposit(benchmark, service_workload):
+    """Overload: replays past the admission bound shed as BUSY; every
+    admitted replay is REJECTED; the cross-shard audit stays clean."""
+    _, _, _, requests, _ = service_workload
+
+    def overload_run():
+        service = _make_service(
+            service_workload,
+            **BATCHED,
+            admission=AdmissionController(max_queue_depth=4),
+        )
+        # phase 1: the fresh workload, paced (queue never hits the bound)
+        for request in requests:
+            service.submit(request.sender, request.kind, request.payload)
+            service.step(force=True)
+        assert service.shed == 0
+
+        # phase 2: replay every token in one burst — all double spends
+        statuses: list[str] = []
+        service.add_completion_observer(lambda c: statuses.append(c.status))
+        for request in requests:
+            service.submit(request.sender, request.kind, request.payload)
+        service.drain()
+        return service, statuses
+
+    service, statuses = benchmark.pedantic(overload_run, rounds=1, iterations=1)
+
+    assert statuses.count("BUSY") == service.shed > 0
+    assert statuses.count("REJECTED") == len(requests) - statuses.count("BUSY")
+    assert "OK" not in statuses  # zero double-deposits admitted
+    report = service.bank.audit()
+    assert report.clean, report.findings
+    benchmark.extra_info.update(
+        replayed=len(requests),
+        shed_busy=statuses.count("BUSY"),
+        rejected_double_spends=statuses.count("REJECTED"),
+        double_deposits_admitted=statuses.count("OK"),
+        audit_clean=report.clean,
+    )

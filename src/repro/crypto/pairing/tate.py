@@ -23,7 +23,7 @@ from __future__ import annotations
 from repro.crypto.pairing.curve import CurveParams, Point
 from repro.crypto.pairing.field import Fp2
 
-__all__ = ["miller_loop", "tate_pairing", "TatePairing"]
+__all__ = ["miller_loop", "multi_operate", "tate_pairing", "TatePairing"]
 
 
 def _line_eval(t: Point, u: Point, s: Point) -> Fp2:
@@ -75,6 +75,45 @@ def miller_loop(P: Point, S: Point, r: int) -> Fp2:
     return f
 
 
+def multi_operate(identity, op, elements, scalars, *, window: int = 4):
+    """Interleaved windowed multi-exponentiation (Straus's trick).
+
+    Computes ``Π elements[i] ^ scalars[i]`` for any group given as an
+    ``(identity, op)`` pair, sharing one doubling chain across all
+    elements: ``max_bits`` doublings total instead of ``max_bits`` per
+    element.  With the default 4-bit window each element additionally
+    pays 14 table operations plus one lookup-multiply per window —
+    roughly a third of the group operations of independent
+    square-and-multiply for the 32–64-bit scalars the batch verifier
+    uses.  Scalars must be non-negative (reduce mod the group order
+    first); zero scalars are skipped.
+    """
+    pairs = [(el, s) for el, s in zip(elements, scalars) if s > 0]
+    if not pairs:
+        return identity
+    table_size = 1 << window
+    tables = []
+    for el, _ in pairs:
+        table = [identity, el]
+        for _ in range(table_size - 2):
+            table.append(op(table[-1], el))
+        tables.append(table)
+    max_bits = max(s.bit_length() for _, s in pairs)
+    n_windows = (max_bits + window - 1) // window
+    mask = table_size - 1
+    acc = identity
+    for w in range(n_windows - 1, -1, -1):
+        if w != n_windows - 1:
+            for _ in range(window):
+                acc = op(acc, acc)
+        shift = w * window
+        for (_, s), table in zip(pairs, tables):
+            digit = (s >> shift) & mask
+            if digit:
+                acc = op(acc, table[digit])
+    return acc
+
+
 def tate_pairing(params: CurveParams, P: Point, Q: Point) -> Fp2:
     """The reduced modified Tate pairing ``ê(P, Q)``.
 
@@ -118,6 +157,16 @@ class TatePairing:
     def identity(self) -> Point:
         return Point.infinity(self.params.p)
 
+    def multi_exp(self, bases, scalars) -> Point:
+        """``Π bases[i]^{scalars[i]}`` via a shared-window Straus chain.
+
+        Point additions here cost a modular inversion each, so cutting
+        the group-operation count directly cuts the batch verifier's
+        per-token overhead (see :mod:`repro.ecash.batch`).
+        """
+        reduced = [s % self.order for s in scalars]
+        return multi_operate(self.identity(), lambda a, b: a + b, bases, reduced)
+
     def random_scalar(self, rng) -> int:
         return rng.randrange(1, self.order)
 
@@ -142,6 +191,11 @@ class TatePairing:
 
     def gt_one(self) -> Fp2:
         return Fp2.one(self.params.p)
+
+    def gt_multi_exp(self, bases, scalars) -> Fp2:
+        """``Π bases[i]^{scalars[i]}`` in G_T via the shared Straus chain."""
+        reduced = [s % self.order for s in scalars]
+        return multi_operate(self.gt_one(), lambda a, b: a * b, bases, reduced)
 
     def gt_generator(self) -> Fp2:
         """ê(g, g) — cached; non-degeneracy makes it a G_T generator."""

@@ -56,6 +56,12 @@ class ToyPairing:
     def identity(self) -> int:
         return 0
 
+    def multi_exp(self, bases, scalars) -> int:
+        acc = 0
+        for base, scalar in zip(bases, scalars):
+            acc = (acc + base * scalar) % self.order
+        return acc
+
     def random_scalar(self, rng: random.Random) -> int:
         return rng.randrange(1, self.order)
 
@@ -80,6 +86,12 @@ class ToyPairing:
 
     def gt_one(self) -> int:
         return 1
+
+    def gt_multi_exp(self, bases, scalars) -> int:
+        acc = 1
+        for base, scalar in zip(bases, scalars):
+            acc = self.target.mul(acc, self.target.exp(base, scalar))
+        return acc
 
     def gt_generator(self) -> int:
         return self.target.power(1)

@@ -29,7 +29,12 @@ from typing import Callable
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.hashing import Transcript
 
-__all__ = ["EqualityProof", "prove_equality", "verify_equality"]
+__all__ = [
+    "EqualityProof",
+    "prove_equality",
+    "verify_equality",
+    "verify_equality_deferred",
+]
 
 #: statistical blinding slack in bits
 _STAT_BITS = 64
@@ -106,6 +111,45 @@ def prove_equality(
     )
 
 
+def verify_equality_deferred(
+    group_a: SchnorrGroup,
+    g: int,
+    h: int,
+    commitment: int,
+    encode_b: Callable[[object], tuple],
+    statement_b: object,
+    proof: EqualityProof,
+    transcript: Transcript,
+) -> int | None:
+    """Everything except the group-B equation; returns the challenge.
+
+    Performs the response range check, the group-A Schnorr equation and
+    the Fiat–Shamir challenge derivation (absorbing exactly what
+    :func:`verify_equality` absorbs).  The group-B equation
+    ``B^z == R_B * V^e`` is *not* checked — the caller must either
+    check it directly or hand it to a batch verifier (see
+    :func:`repro.ecash.batch.batched_equality_check`).  Returns ``None``
+    when any of the performed checks fails.
+    """
+    bound = 1 << (proof.witness_bits + 2 * _CHALLENGE_BITS + _STAT_BITS)
+    if not 0 <= proof.z < bound:
+        return None
+    if not group_a.contains(proof.commitment_a):
+        return None
+
+    transcript.absorb_ints(g, h, commitment, proof.commitment_a)
+    transcript.absorb_ints(*(int(v) for v in encode_b(statement_b)))
+    transcript.absorb_ints(*proof.commitment_b)
+    e = transcript.challenge(1 << _CHALLENGE_BITS)
+
+    # group A: g^z h^{z_t} == R_A * D^e
+    lhs_a = group_a.mul(group_a.exp(g, proof.z), group_a.exp(h, proof.z_t))
+    rhs_a = group_a.mul(proof.commitment_a, group_a.exp(commitment, e))
+    if lhs_a != rhs_a:
+        return None
+    return e
+
+
 def verify_equality(
     group_a: SchnorrGroup,
     g: int,
@@ -126,21 +170,10 @@ def verify_equality(
     (``exp_b``), element multiply (``mul_b``), element exponent
     (``exp_el_b``) and the encoder/decoder pair.
     """
-    bound = 1 << (proof.witness_bits + 2 * _CHALLENGE_BITS + _STAT_BITS)
-    if not 0 <= proof.z < bound:
-        return False
-    if not group_a.contains(proof.commitment_a):
-        return False
-
-    transcript.absorb_ints(g, h, commitment, proof.commitment_a)
-    transcript.absorb_ints(*(int(v) for v in encode_b(statement_b)))
-    transcript.absorb_ints(*proof.commitment_b)
-    e = transcript.challenge(1 << _CHALLENGE_BITS)
-
-    # group A: g^z h^{z_t} == R_A * D^e
-    lhs_a = group_a.mul(group_a.exp(g, proof.z), group_a.exp(h, proof.z_t))
-    rhs_a = group_a.mul(proof.commitment_a, group_a.exp(commitment, e))
-    if lhs_a != rhs_a:
+    e = verify_equality_deferred(
+        group_a, g, h, commitment, encode_b, statement_b, proof, transcript
+    )
+    if e is None:
         return False
 
     # group B: B^z == R_B * V^e

@@ -40,7 +40,11 @@ from repro.crypto.zkp.committed_double_log import (
     verify_edge,
     verify_revealed_edge,
 )
-from repro.crypto.zkp.equality import EqualityProof, prove_equality, verify_equality
+from repro.crypto.zkp.equality import (
+    EqualityProof,
+    prove_equality,
+    verify_equality_deferred,
+)
 from repro.ecash.tree import (
     GEN_COMMIT_G,
     GEN_COMMIT_H,
@@ -50,7 +54,14 @@ from repro.ecash.tree import (
     derive_key_chain,
 )
 
-__all__ = ["DECParams", "SpendToken", "create_spend", "verify_spend"]
+__all__ = [
+    "DECParams",
+    "SpendToken",
+    "DeferredGTCheck",
+    "create_spend",
+    "verify_spend",
+    "verify_spend_deferred",
+]
 
 
 @dataclass(frozen=True)
@@ -268,6 +279,36 @@ def create_spend(
     )
 
 
+@dataclass(frozen=True)
+class DeferredGTCheck:
+    """The one target-group equation of a token left unchecked.
+
+    :func:`verify_spend_deferred` validates everything about a token
+    *except* the equality proof's group-B equation
+    ``e(X, b~)^z == R_B * V^e`` — the only per-token check whose cost is
+    a pairing but whose structure is linear, so *n* of them batch into
+    one pairing plus multi-exponentiations
+    (:func:`repro.ecash.batch.batched_equality_check`).  ``check``
+    closes the deferral individually, making ``verify_spend_deferred``
+    + ``check`` exactly equivalent to :func:`verify_spend`.
+    """
+
+    sig_b: object  # the pairing point of the base B = e(X, b~)
+    statement_gt: object  # V, already computed for the transcript
+    commitment_b: object  # R_B, decoded
+    challenge: int  # e, recomputed from the transcript
+    response: int  # z, the integer response
+
+    def check(self, params: DECParams, bank_pk: CLPublicKey) -> bool:
+        """The deferred equation, checked alone: ``B^z == R_B * V^e``."""
+        backend = params.backend
+        lhs = backend.gt_exp(backend.pair(bank_pk.X, self.sig_b), self.response)
+        rhs = backend.gt_mul(
+            self.commitment_b, backend.gt_exp(self.statement_gt, self.challenge)
+        )
+        return backend.gt_eq(lhs, rhs)
+
+
 def verify_spend(
     params: DECParams,
     bank_pk: CLPublicKey,
@@ -282,21 +323,45 @@ def verify_spend(
     equation; **only** pass it when that equation was already certified
     for this token by :func:`repro.ecash.batch.batched_pairing_check`.
     """
+    deferred = verify_spend_deferred(
+        params, bank_pk, token, context=context,
+        skip_cl_pairing_check=skip_cl_pairing_check,
+    )
+    return deferred is not None and deferred.check(params, bank_pk)
+
+
+def verify_spend_deferred(
+    params: DECParams,
+    bank_pk: CLPublicKey,
+    token: SpendToken,
+    *,
+    context: bytes = b"",
+    skip_cl_pairing_check: bool = False,
+) -> DeferredGTCheck | None:
+    """Verify a token except its one batchable target-group equation.
+
+    Returns ``None`` when any performed check fails, otherwise the
+    :class:`DeferredGTCheck` the caller must still discharge (directly
+    via :meth:`DeferredGTCheck.check`, or batched across tokens).  The
+    two statement pairings it computes are unavoidable: the Fiat–Shamir
+    transcript absorbs the encoded statement ``V``, so the verifier
+    must materialize it per token to recompute the challenge.
+    """
     backend = params.backend
     node = token.node
     if node.level > params.tree_level:
-        return False
+        return None
     if len(token.key_commitments) != node.level:
-        return False
+        return None
 
     # CL signature well-formedness on the randomized triple:
     # e(a~, Y) == e(g, b~); a~ must not be the identity
     if backend.element_encode(token.sig_a) == backend.element_encode(backend.identity()):
-        return False
+        return None
     if not skip_cl_pairing_check and not backend.gt_eq(
         backend.pair(token.sig_a, bank_pk.Y), backend.pair(backend.g, token.sig_b)
     ):
-        return False
+        return None
 
     transcript = _base_transcript(params, bank_pk, node, token.node_key, token.sig_a,
                                   token.sig_b, token.sig_c, token.commitment_s,
@@ -304,29 +369,25 @@ def verify_spend(
 
     grp0 = params.tower.group(0)
     g0, h0 = params.commit_bases(0)
-    base_gt = backend.pair(bank_pk.X, token.sig_b)
     statement_gt = backend.gt_mul(
         backend.pair(backend.g, token.sig_c),
         backend.gt_exp(backend.pair(bank_pk.X, token.sig_a), backend.order - 1),
     )
-    if not verify_equality(
+    challenge = verify_equality_deferred(
         grp0, g0, h0, token.commitment_s,
-        exp_b=lambda k: backend.gt_exp(base_gt, k),
-        mul_b=backend.gt_mul,
-        exp_el_b=backend.gt_exp,
         encode_b=lambda el: _gt_encode(backend, el),
-        decode_b=lambda enc: _gt_decode(backend, enc),
         statement_b=statement_gt,
         proof=token.equality,
         transcript=transcript,
-    ):
-        return False
+    )
+    if challenge is None:
+        return None
 
     bits = node.path_bits()
     depth = node.level
     if depth >= 1:
         if len(token.edges) != depth:
-            return False
+            return None
         g1, h1 = params.commit_bases(1)
         if not verify_edge(
             grp0, g0, h0, token.commitment_s,
@@ -334,7 +395,7 @@ def verify_spend(
             params.tower.group(1), g1, h1, token.key_commitments[0],
             token.edges[0], transcript,
         ):
-            return False
+            return None
         for t in range(1, depth):
             pg = params.tower.group(t)
             pgg, pgh = params.commit_bases(t)
@@ -346,7 +407,7 @@ def verify_spend(
                 cg, cgg, cgh, token.key_commitments[t],
                 token.edges[t], transcript,
             ):
-                return False
+                return None
         pg = params.tower.group(depth)
         pgg, pgh = params.commit_bases(depth)
         if not verify_revealed_edge(
@@ -354,17 +415,23 @@ def verify_spend(
             params.edge_generator(depth, bits[depth - 1]),
             token.node_key, token.final_edge, transcript,
         ):
-            return False
+            return None
     else:
         if token.edges:
-            return False
+            return None
         if not verify_revealed_edge(
             grp0, g0, h0, token.commitment_s,
             params.edge_generator(0, 0),
             token.node_key, token.final_edge, transcript,
         ):
-            return False
-    return True
+            return None
+    return DeferredGTCheck(
+        sig_b=token.sig_b,
+        statement_gt=statement_gt,
+        commitment_b=_gt_decode(backend, token.equality.commitment_b),
+        challenge=challenge,
+        response=token.equality.z,
+    )
 
 
 # ---------------------------------------------------------------------------

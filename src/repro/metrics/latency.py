@@ -1,0 +1,163 @@
+"""Per-request latency histograms and SLO evaluation.
+
+The serving layer (:mod:`repro.service`) is judged the way production
+systems are: not by the mean, but by the tail.  A
+:class:`LatencyRecorder` accumulates per-request durations cheaply
+(append-only; sorting is deferred to report time) and summarizes them
+into the quantiles operators page on — p50/p95/p99 — plus throughput
+over the recorded span.
+
+:class:`SLOTarget` states an explicit latency/throughput contract and
+:meth:`SLOTarget.check` returns findings (in the style of
+:class:`repro.core.ledger.AuditReport`) rather than raising, so load
+reports can print *which* objective was missed and by how much.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "LatencyRecorder",
+    "LatencyReport",
+    "SLOTarget",
+    "format_latency_report",
+]
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation quantile of pre-sorted data (0 <= q <= 1)."""
+    if not sorted_values:
+        raise ValueError("no samples recorded")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    pos = q * (len(sorted_values) - 1)
+    lo = math.floor(pos)
+    hi = math.ceil(pos)
+    if lo == hi:
+        return sorted_values[lo]
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Summary of a recorded latency distribution (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+    elapsed: float
+
+    @property
+    def throughput(self) -> float:
+        """Completed requests per second over the recorded span."""
+        if self.elapsed <= 0:
+            return float("inf") if self.count else 0.0
+        return self.count / self.elapsed
+
+    @property
+    def p50_ms(self) -> float:
+        return self.p50 * 1e3
+
+    @property
+    def p95_ms(self) -> float:
+        return self.p95 * 1e3
+
+    @property
+    def p99_ms(self) -> float:
+        return self.p99 * 1e3
+
+
+class LatencyRecorder:
+    """Append-only latency accumulator with deferred aggregation."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._span_start: float | None = None
+        self._span_end: float | None = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("latency cannot be negative")
+        self._samples.append(seconds)
+
+    def mark_span(self, start: float, end: float) -> None:
+        """Set the observation window used for throughput (widening only)."""
+        if end < start:
+            raise ValueError("span end precedes start")
+        self._span_start = start if self._span_start is None else min(self._span_start, start)
+        self._span_end = end if self._span_end is None else max(self._span_end, end)
+
+    def report(self) -> LatencyReport:
+        if not self._samples:
+            raise ValueError("no samples recorded")
+        data = sorted(self._samples)
+        if self._span_start is not None and self._span_end is not None:
+            elapsed = self._span_end - self._span_start
+        else:
+            elapsed = sum(data)
+        return LatencyReport(
+            count=len(data),
+            mean=sum(data) / len(data),
+            p50=_quantile(data, 0.50),
+            p95=_quantile(data, 0.95),
+            p99=_quantile(data, 0.99),
+            maximum=data[-1],
+            elapsed=elapsed,
+        )
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """A latency/throughput service-level objective.
+
+    Any objective left ``None`` is not evaluated.  Latencies are in
+    seconds, throughput in requests per second.
+    """
+
+    p50: float | None = None
+    p95: float | None = None
+    p99: float | None = None
+    min_throughput: float | None = None
+
+    def check(self, report: LatencyReport) -> tuple[str, ...]:
+        """Findings for every missed objective (empty tuple == SLO met)."""
+        findings: list[str] = []
+        for name, target in (("p50", self.p50), ("p95", self.p95), ("p99", self.p99)):
+            if target is None:
+                continue
+            measured = getattr(report, name)
+            if measured > target:
+                findings.append(
+                    f"{name} {measured * 1e3:.2f} ms exceeds objective "
+                    f"{target * 1e3:.2f} ms"
+                )
+        if self.min_throughput is not None and report.throughput < self.min_throughput:
+            findings.append(
+                f"throughput {report.throughput:.1f} req/s below objective "
+                f"{self.min_throughput:.1f} req/s"
+            )
+        return tuple(findings)
+
+
+def format_latency_report(report: LatencyReport, *, title: str = "latency") -> str:
+    """Render a report as the fixed-width block the examples print."""
+    lines = [
+        f"[{title}]",
+        f"  requests   {report.count}",
+        f"  throughput {report.throughput:.1f} req/s",
+        f"  mean       {report.mean * 1e3:.2f} ms",
+        f"  p50        {report.p50_ms:.2f} ms",
+        f"  p95        {report.p95_ms:.2f} ms",
+        f"  p99        {report.p99_ms:.2f} ms",
+        f"  max        {report.maximum * 1e3:.2f} ms",
+    ]
+    return "\n".join(lines)

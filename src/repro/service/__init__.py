@@ -1,0 +1,48 @@
+"""The serving layer: a concurrent market-administrator bank service.
+
+The paper's market administrator is one logical party; this package is
+the shape that party takes when it must serve heavy traffic —
+:class:`~repro.service.shard.ShardedBank` partitions the books,
+:class:`~repro.service.batcher.VerificationBatcher` coalesces and
+parallelizes the crypto, :class:`~repro.service.server.MarketService`
+runs the accept→admit→batch→apply loop with
+:class:`~repro.service.admission.AdmissionController` shedding
+overload, and :mod:`~repro.service.loadgen` drives the whole stack
+from the workload layer and reports latency SLOs.
+
+See ``docs/service.md`` for the architecture and the knobs.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionDecision, TokenBucket
+from repro.service.batcher import (
+    DepositJob,
+    DepositOutcome,
+    VerificationBatcher,
+    WithdrawJob,
+    WithdrawOutcome,
+)
+from repro.service.loadgen import LoadReport, Request, mint_deposit_traffic, run_trace
+from repro.service.server import Completion, MarketService, RequestFailure, SERVICE
+from repro.service.shard import ShardedBank, account_shard, serial_shard
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TokenBucket",
+    "VerificationBatcher",
+    "DepositJob",
+    "WithdrawJob",
+    "DepositOutcome",
+    "WithdrawOutcome",
+    "ShardedBank",
+    "account_shard",
+    "serial_shard",
+    "MarketService",
+    "Completion",
+    "RequestFailure",
+    "SERVICE",
+    "LoadReport",
+    "Request",
+    "mint_deposit_traffic",
+    "run_trace",
+]

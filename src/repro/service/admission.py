@@ -1,0 +1,104 @@
+"""Admission control: token-bucket rate limiting and backpressure.
+
+A bank service doing bigint cryptography has a hard capacity ceiling;
+what it must never do is queue unboundedly past it — queues hide the
+overload until every request is late instead of a few being refused.
+The admission controller makes the trade explicit:
+
+* a **token bucket** caps the sustained request rate while allowing
+  bursts up to the bucket size (bursty arrivals are the normal shape
+  of sensing traffic, see :mod:`repro.workloads.arrivals`);
+* a **queue-depth bound** sheds load when the backlog of
+  not-yet-applied work exceeds what the batcher can drain within the
+  latency objective.
+
+A shed request gets an explicit ``BUSY`` reply immediately — the
+client knows to retry later, and the requests that *were* admitted
+keep their latency.  Decisions carry the reason so load reports can
+attribute sheds to rate vs. backlog.
+
+The clock is supplied by the caller on every call (no hidden
+``time.time()``), so admission works identically under the simulated
+arrival clock of :mod:`repro.service.loadgen` and a wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TokenBucket", "AdmissionDecision", "AdmissionController"]
+
+
+class TokenBucket:
+    """Classic token bucket: *rate* tokens/second, capacity *burst*.
+
+    Starts full, so a cold service absorbs an initial burst.  With
+    ``rate=None`` the bucket is disabled (always allows).
+    """
+
+    def __init__(self, rate: float | None, burst: float = 1.0) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        if burst < 1:
+            raise ValueError("burst must allow at least one request")
+        self.rate = rate
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._last = 0.0
+
+    def allow(self, now: float) -> bool:
+        """Consume one token if available at time *now*."""
+        if self.rate is None:
+            return True
+        if now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of an admission check."""
+
+    admitted: bool
+    reason: str = ""  # "rate" or "queue" when not admitted
+
+
+class AdmissionController:
+    """Token bucket + queue-depth backpressure, with shed accounting."""
+
+    def __init__(
+        self,
+        *,
+        rate: float | None = None,
+        burst: float = 64.0,
+        max_queue_depth: int | None = None,
+    ) -> None:
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be positive (or None)")
+        self.bucket = TokenBucket(rate, burst) if rate is not None else None
+        self.max_queue_depth = max_queue_depth
+        self.shed_by_rate = 0
+        self.shed_by_queue = 0
+
+    @property
+    def shed_total(self) -> int:
+        return self.shed_by_rate + self.shed_by_queue
+
+    def admit(self, now: float, queue_depth: int) -> AdmissionDecision:
+        """Decide one request given the current backlog.
+
+        Queue depth is checked first: when the backlog is already past
+        the bound, refusing is right regardless of rate budget (tokens
+        are not consumed for a request that is shed anyway).
+        """
+        if self.max_queue_depth is not None and queue_depth >= self.max_queue_depth:
+            self.shed_by_queue += 1
+            return AdmissionDecision(admitted=False, reason="queue")
+        if self.bucket is not None and not self.bucket.allow(now):
+            self.shed_by_rate += 1
+            return AdmissionDecision(admitted=False, reason="rate")
+        return AdmissionDecision(admitted=True)

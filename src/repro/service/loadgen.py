@@ -1,0 +1,188 @@
+"""Load generation against the market service, with latency reporting.
+
+Drives a :class:`~repro.service.server.MarketService` with request
+traffic shaped by the workload layer — arrival processes from
+:mod:`repro.workloads.arrivals` set *when* requests land (and thus how
+admission and batching behave), market compositions from
+:mod:`repro.workloads.population` set who is depositing — and records
+what a production operator would: per-request latency quantiles
+(p50/p95/p99), throughput, shed counts, and SLO verdicts via
+:mod:`repro.metrics.latency`.
+
+Two clocks coexist deliberately.  The **arrival clock** is simulated
+(the trace's timestamps feed admission's token bucket), because waiting
+out a real Poisson process would measure ``sleep()``.  **Latency** is
+wall-clock from accept to reply — the real cost of queueing behind a
+batch plus the crypto itself — under as-fast-as-possible replay.
+
+:func:`mint_deposit_traffic` does the client-side work (withdrawals,
+wallet allocation, spend-token minting) out of band: load generation
+measures the *bank*, so the clients arrive with tokens already minted,
+exactly like real SPs who minted while sensing.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from repro.crypto.cl_sig import cl_blind_issue
+from repro.ecash.dec import begin_withdrawal, finish_withdrawal
+from repro.ecash.spend import create_spend
+from repro.metrics.latency import LatencyRecorder, LatencyReport, SLOTarget
+from repro.service.server import Completion, MarketService
+
+__all__ = ["Request", "LoadReport", "mint_deposit_traffic", "run_trace"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One request the generator will submit."""
+
+    sender: str
+    kind: str
+    payload: dict
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Everything a load run observed."""
+
+    latency: LatencyReport | None
+    wall_elapsed: float
+    submitted: int
+    ok: int
+    shed: int
+    rejected: int
+    errors: int
+    slo_findings: tuple[str, ...]
+
+    @property
+    def completed(self) -> int:
+        return self.ok + self.rejected + self.errors
+
+    @property
+    def slo_met(self) -> bool:
+        return not self.slo_findings
+
+
+def mint_deposit_traffic(
+    service: MarketService,
+    rng: random.Random,
+    *,
+    n_accounts: int,
+    n_deposits: int,
+    node_level: int | None = None,
+    replay_fraction: float = 0.0,
+    context: bytes = b"",
+) -> list[Request]:
+    """Fund accounts, withdraw coins, mint tokens; return deposit requests.
+
+    Each account withdraws as many coins as its share of the traffic
+    needs; tokens are minted round-robin across accounts so consecutive
+    requests come from different senders (the worst case for per-sender
+    FIFO).  With *replay_fraction* > 0, that fraction of the requests
+    re-submit an earlier token — guaranteed double spends the service
+    must reject.
+    """
+    if n_accounts < 1 or n_deposits < 1:
+        raise ValueError("need at least one account and one deposit")
+    if not 0.0 <= replay_fraction < 1.0:
+        raise ValueError("replay_fraction must be in [0, 1)")
+    params = service.bank.params
+    bank = service.bank
+    level = params.tree_level
+    depth = level if node_level is None else node_level
+    if not 0 <= depth <= level:
+        raise ValueError(f"node_level must be in [0, {level}]")
+    denomination = 1 << (level - depth)
+    tokens_per_coin = 1 << depth
+    coin_value = 1 << level
+
+    n_replays = int(n_deposits * replay_fraction)
+    n_fresh = n_deposits - n_replays
+    per_account = -(-n_fresh // n_accounts)
+    coins_per_account = -(-per_account // tokens_per_coin)
+
+    by_account: list[list[Request]] = []
+    for i in range(n_accounts):
+        aid = f"sp{i}"
+        bank.open_account(aid, coins_per_account * coin_value)
+        mine: list[Request] = []
+        for _ in range(coins_per_account):
+            secret, request = begin_withdrawal(params, rng)
+            signature = cl_blind_issue(params.backend, bank.keypair, request, rng)
+            coin = finish_withdrawal(params, bank.public_key, secret, signature)
+            bank.apply_withdrawal(aid)
+            wallet = coin.wallet()
+            while len(mine) < per_account and wallet.balance >= denomination:
+                node = wallet.allocate(denomination)
+                token = create_spend(
+                    params, bank.public_key, coin.secret, coin.signature, node, rng
+                )
+                mine.append(
+                    Request(sender=aid, kind="deposit",
+                            payload={"aid": aid, "token": token, "context": context})
+                )
+        by_account.append(mine)
+
+    # interleave senders round-robin so consecutive arrivals alternate
+    # accounts (the worst case for per-sender FIFO)
+    fresh = [
+        by_account[i][j]
+        for j in range(per_account)
+        for i in range(n_accounts)
+        if j < len(by_account[i])
+    ][:n_fresh]
+
+    requests = list(fresh)
+    for i in range(n_replays):
+        victim = fresh[rng.randrange(len(fresh))]
+        requests.insert(rng.randrange(len(requests) + 1), victim)
+    return requests
+
+
+def run_trace(
+    service: MarketService,
+    requests: list[Request],
+    arrivals: list[float],
+    *,
+    slo: SLOTarget | None = None,
+) -> LoadReport:
+    """Replay *requests* at *arrivals* times; drain; report.
+
+    The shorter of the two sequences bounds the run.  ``service.step``
+    runs after every submission (so batches flush as soon as they
+    fill), and the service is drained at the end — every admitted
+    request is answered before the report is cut.
+    """
+    recorder = LatencyRecorder()
+    counts = {"OK": 0, "BUSY": 0, "REJECTED": 0, "ERROR": 0}
+
+    def observe(completion: Completion) -> None:
+        counts[completion.status] = counts.get(completion.status, 0) + 1
+        if completion.status != "BUSY":
+            recorder.record(completion.latency)
+
+    service.add_completion_observer(observe)
+    wall_start = time.perf_counter()
+    n = min(len(requests), len(arrivals))
+    for request, at in zip(requests[:n], arrivals[:n]):
+        service.submit(request.sender, request.kind, request.payload, now=at)
+        service.step()
+    service.drain()
+    wall_end = time.perf_counter()
+    recorder.mark_span(wall_start, wall_end)
+
+    report = recorder.report() if len(recorder) else None
+    return LoadReport(
+        latency=report,
+        wall_elapsed=wall_end - wall_start,
+        submitted=n,
+        ok=counts["OK"],
+        shed=counts["BUSY"],
+        rejected=counts["REJECTED"],
+        errors=counts["ERROR"],
+        slo_findings=slo.check(report) if (slo is not None and report is not None) else (),
+    )

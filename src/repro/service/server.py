@@ -1,0 +1,338 @@
+"""The market-administrator bank service: accept → admit → batch → apply.
+
+:class:`MarketService` is the serving layer in front of the sharded
+bank.  It speaks the same envelope discipline as
+:class:`repro.core.engine.Router` — every request crosses the
+accounted :class:`~repro.net.transport.Transport` codec, and a bad
+request poisons only itself (recorded as a failure, explicit ``ERROR``
+reply, the loop keeps running) — but replaces the router's
+deliver-one-message-at-a-time inner loop with a pipelined one:
+
+1. **accept** — :meth:`submit` decodes the envelope and runs admission
+   control; shed requests get an immediate ``BUSY`` reply and never
+   consume crypto budget;
+2. **admit** — accepted requests join a per-sender FIFO; cheap
+   operations (account opening, balance queries, audits) execute at
+   apply time, crypto operations (deposit verification, blind
+   issuance) are handed to the :class:`~repro.service.batcher
+   .VerificationBatcher`;
+3. **batch** — :meth:`step` flushes the batcher when a batch is full
+   (or on ``force``), fanning the pure crypto across the process pool;
+4. **apply** — results are applied *serially, in submission order per
+   sender*: conflict checks against the sharded serial store, credits,
+   debits, replies.  Serial application is what turns "verified in
+   parallel" into "admitted exactly once" — the double-spend check
+   happens under no concurrency at all.
+
+Request kinds and payloads (all dicts over the codec)::
+
+    open-account {aid, balance}      -> OK {balance}
+    balance      {aid}               -> OK {balance}
+    withdraw     {aid, request}      -> OK {signature}
+    deposit      {aid, token, context?} -> OK {amount}
+    audit        {}                  -> OK {clean, findings}
+
+Reply statuses: ``OK``, ``BUSY`` (shed by admission), ``ERROR``
+(malformed, unknown account, underfunded, invalid token), ``REJECTED``
+(double spend — carries the evidence triple).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.engine import ProtocolError
+from repro.crypto.cl_sig import BlindIssuanceRequest
+from repro.ecash.dec import DoubleSpendError
+from repro.ecash.spend import SpendToken
+from repro.net.transport import Transport
+from repro.service.admission import AdmissionController
+from repro.service.batcher import (
+    DepositJob,
+    DepositOutcome,
+    VerificationBatcher,
+    WithdrawJob,
+    WithdrawOutcome,
+)
+from repro.service.shard import ShardedBank
+
+__all__ = ["MarketService", "Completion", "RequestFailure", "SERVICE"]
+
+SERVICE = "MA-service"
+
+_CRYPTO_KINDS = ("deposit", "withdraw")
+_CHEAP_KINDS = ("open-account", "balance", "audit")
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One finished request, as seen by completion observers."""
+
+    sender: str
+    seq: int
+    kind: str
+    status: str
+    latency: float  # seconds, submit → reply (0 for shed requests)
+
+
+@dataclass(frozen=True)
+class RequestFailure:
+    """Record of a request answered with ``ERROR`` or ``REJECTED``."""
+
+    sender: str
+    seq: int
+    kind: str
+    error: str
+
+
+@dataclass
+class _Pending:
+    seq: int
+    sender: str
+    kind: str
+    payload: Any
+    submitted_at: float
+    outcome: DepositOutcome | WithdrawOutcome | None = field(default=None)
+
+    @property
+    def ready(self) -> bool:
+        return self.kind not in _CRYPTO_KINDS or self.outcome is not None
+
+
+class MarketService:
+    """Concurrent MA bank service over a sharded store."""
+
+    def __init__(
+        self,
+        bank: ShardedBank,
+        *,
+        transport: Transport | None = None,
+        batcher: VerificationBatcher | None = None,
+        admission: AdmissionController | None = None,
+        rng: random.Random | None = None,
+        name: str = SERVICE,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.bank = bank
+        self.name = name
+        self.transport = transport if transport is not None else Transport()
+        # explicit None checks: an idle VerificationBatcher is falsy
+        # (it has __len__), so ``batcher or default`` would silently
+        # discard a caller-configured batcher
+        self.batcher = (
+            batcher
+            if batcher is not None
+            else VerificationBatcher(bank.params, bank.keypair)
+        )
+        self.admission = admission if admission is not None else AdmissionController()
+        self.rng = rng if rng is not None else random.Random(0)
+        self._clock = clock
+        self._next_seq = 0
+        self._queues: dict[str, deque[_Pending]] = {}
+        self._sender_order: list[str] = []
+        self._in_flight: dict[int, _Pending] = {}
+        self.failures: list[RequestFailure] = []
+        self.completions = 0
+        self.shed = 0
+        self._observers: list[Callable[[Completion], None]] = []
+
+    # -- instrumentation ---------------------------------------------------
+    def add_completion_observer(self, fn: Callable[[Completion], None]) -> None:
+        self._observers.append(fn)
+
+    def _notify(self, completion: Completion) -> None:
+        for fn in self._observers:
+            fn(completion)
+
+    @property
+    def queue_depth(self) -> int:
+        """Accepted-but-unapplied requests (the backpressure signal)."""
+        return sum(len(q) for q in self._queues.values())
+
+    # -- accept ------------------------------------------------------------
+    def submit(self, sender: str, kind: str, payload: Any, *, now: float = 0.0) -> int:
+        """Accept one request envelope; returns its sequence number.
+
+        The payload crosses the transport codec exactly as under the
+        router, so byte accounting covers requests, and smuggled state
+        fails loudly.  Admission runs only for crypto kinds — cheap
+        queries never starve behind a full bucket.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        delivered = self.transport.send(sender, self.name, kind, payload)
+        if kind in _CRYPTO_KINDS:
+            decision = self.admission.admit(now, self.queue_depth)
+            if not decision.admitted:
+                self.shed += 1
+                self._reply(sender, seq, kind, "BUSY", {"reason": decision.reason},
+                            submitted_at=None)
+                return seq
+        pending = _Pending(seq=seq, sender=sender, kind=kind, payload=delivered,
+                           submitted_at=self._clock())
+        if sender not in self._queues:
+            self._queues[sender] = deque()
+            self._sender_order.append(sender)
+        self._queues[sender].append(pending)
+        if kind in _CRYPTO_KINDS:
+            try:
+                self._enqueue_crypto(pending)
+            except ProtocolError as exc:
+                # malformed before it ever reaches the pool: fail it now
+                self._queues[sender].remove(pending)
+                self._fail(pending, "ERROR", str(exc))
+        return seq
+
+    def _enqueue_crypto(self, pending: _Pending) -> None:
+        payload = pending.payload
+        if not isinstance(payload, dict) or "aid" not in payload:
+            raise ProtocolError(f"{pending.kind} payload must carry an account id")
+        aid = payload["aid"]
+        if not self.bank.has_account(aid):
+            raise ProtocolError(f"unknown account {aid!r}")
+        if pending.kind == "deposit":
+            if not isinstance(payload.get("token"), SpendToken):
+                raise ProtocolError("deposit payload missing a spend token")
+            self.batcher.submit(
+                DepositJob(
+                    seq=pending.seq,
+                    aid=aid,
+                    token=payload["token"],
+                    context=payload.get("context", b""),
+                )
+            )
+        else:
+            if not isinstance(payload.get("request"), BlindIssuanceRequest):
+                raise ProtocolError("withdraw payload missing an issuance request")
+            value = 1 << self.bank.params.tree_level
+            if self.bank.balance(aid) < value:
+                raise ProtocolError(
+                    f"account {aid!r} cannot cover a coin of value {value}"
+                )
+            self.batcher.submit(
+                WithdrawJob(seq=pending.seq, aid=aid, request=payload["request"])
+            )
+        self._in_flight[pending.seq] = pending
+
+    # -- batch + apply -----------------------------------------------------
+    def step(self, *, force: bool = False) -> int:
+        """One turn of the loop: flush ready batches, apply, reply.
+
+        Returns the number of requests completed this step.  With
+        ``force`` the batcher flushes even when under-full (used to
+        drain at the end of a run or on a batching deadline).
+        """
+        flushed = force or self.batcher.batch_ready
+        while flushed and len(self.batcher):
+            for outcome in self.batcher.flush():
+                pending = self._in_flight.pop(outcome.seq)
+                pending.outcome = outcome
+            flushed = force or self.batcher.batch_ready
+        return self._apply_ready()
+
+    def drain(self) -> int:
+        """Flush and apply until nothing is pending; returns completions."""
+        total = 0
+        while self.queue_depth or len(self.batcher):
+            done = self.step(force=True)
+            if done == 0 and len(self.batcher) == 0:
+                break
+            total += done
+        return total
+
+    def _apply_ready(self) -> int:
+        """Apply every queue head whose result is ready (FIFO per sender)."""
+        completed = 0
+        for sender in self._sender_order:
+            queue = self._queues.get(sender)
+            while queue and queue[0].ready:
+                pending = queue.popleft()
+                self._apply_one(pending)
+                completed += 1
+        return completed
+
+    def _apply_one(self, pending: _Pending) -> None:
+        try:
+            status, body = self._execute(pending)
+        except ProtocolError as exc:
+            self._fail(pending, "ERROR", str(exc))
+            return
+        except DoubleSpendError as exc:
+            evidence = exc.evidence
+            body = {"error": str(exc)}
+            if evidence is not None:
+                body["evidence"] = {
+                    "serial": evidence.serial,
+                    "prior": list(evidence.prior),
+                    "offending_node": list(evidence.offending_node),
+                }
+            self._fail(pending, "REJECTED", str(exc), body=body)
+            return
+        self._reply(pending.sender, pending.seq, pending.kind, status, body,
+                    submitted_at=pending.submitted_at)
+
+    def _execute(self, pending: _Pending) -> tuple[str, dict]:
+        kind, payload = pending.kind, pending.payload
+        if kind == "open-account":
+            self._require(payload, "aid", "balance")
+            if self.bank.has_account(payload["aid"]):
+                raise ProtocolError(f"account {payload['aid']!r} already exists")
+            self.bank.open_account(payload["aid"], payload["balance"])
+            return "OK", {"balance": payload["balance"]}
+        if kind == "balance":
+            self._require(payload, "aid")
+            if not self.bank.has_account(payload["aid"]):
+                raise ProtocolError(f"unknown account {payload['aid']!r}")
+            return "OK", {"balance": self.bank.balance(payload["aid"])}
+        if kind == "audit":
+            report = self.bank.audit()
+            return "OK", {"clean": report.clean, "findings": list(report.findings)}
+        if kind == "withdraw":
+            outcome = pending.outcome
+            assert isinstance(outcome, WithdrawOutcome)
+            # balance re-checked at apply time: an earlier withdrawal in
+            # the same batch may have drained the account since accept
+            self.bank.apply_withdrawal(payload["aid"])
+            return "OK", {"signature": outcome.signature}
+        if kind == "deposit":
+            outcome = pending.outcome
+            assert isinstance(outcome, DepositOutcome)
+            if not outcome.valid:
+                raise ProtocolError("invalid spend token")
+            amount = self.bank.apply_deposit(
+                payload["aid"], payload["token"], outcome.serials
+            )
+            return "OK", {"amount": amount}
+        raise ProtocolError(f"unknown request kind {kind!r}")
+
+    @staticmethod
+    def _require(payload: Any, *keys: str) -> None:
+        if not isinstance(payload, dict):
+            raise ProtocolError("payload must be a mapping")
+        for key in keys:
+            if key not in payload:
+                raise ProtocolError(f"payload missing {key!r}")
+
+    # -- replies -----------------------------------------------------------
+    def _fail(self, pending: _Pending, status: str, error: str,
+              *, body: dict | None = None) -> None:
+        self.failures.append(
+            RequestFailure(sender=pending.sender, seq=pending.seq,
+                           kind=pending.kind, error=error)
+        )
+        self._reply(pending.sender, pending.seq, pending.kind, status,
+                    body if body is not None else {"error": error},
+                    submitted_at=pending.submitted_at)
+
+    def _reply(self, sender: str, seq: int, kind: str, status: str, body: dict,
+               *, submitted_at: float | None) -> None:
+        latency = 0.0 if submitted_at is None else self._clock() - submitted_at
+        self.transport.send(self.name, sender, "reply",
+                            {"req": seq, "status": status, **body})
+        self.completions += 1
+        self._notify(Completion(sender=sender, seq=seq, kind=kind,
+                                status=status, latency=latency))

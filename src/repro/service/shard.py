@@ -1,0 +1,272 @@
+"""Sharded bank state for the market-administrator service.
+
+One logical bank, N physical shards.  Two independent partition keys
+split the three security-critical structures of
+:class:`~repro.ecash.dec.DECBank`:
+
+* **accounts and the withdrawal ledger** shard by a stable hash of the
+  account id — every balance mutation for an account touches exactly
+  one shard;
+* **the deposited-serial store** shards by a stable hash of each leaf
+  serial.  Conflicting deposits (same node, ancestor or descendant)
+  always share at least one leaf serial, and equal serials hash to the
+  same shard — so per-shard membership checks are *sufficient* for
+  global double-spend detection.  No cross-shard coordination is
+  needed on the hot path.
+
+Each shard *is* a :class:`~repro.ecash.dec.DECBank` holding its slice,
+which is what lets persistence reuse :mod:`repro.core.ledger`
+verbatim: :meth:`ShardedBank.snapshot` is one
+:func:`~repro.core.ledger.snapshot_bank` blob per shard (each with its
+own integrity digest, so corruption is localized to a shard), and the
+cross-shard :meth:`ShardedBank.audit` merges the slices into one
+logical bank and runs :func:`~repro.core.ledger.audit_bank` on it —
+plus placement invariants no single shard can see (a serial or account
+living on the wrong shard, duplicates across shards).
+
+Hashing is :func:`repro.crypto.hashing.sha256`-based, never Python's
+salted ``hash()``, so placement is stable across processes and
+restarts — a snapshot taken by one service instance restores into
+another with the same shard count.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from repro.core.ledger import AuditReport, audit_bank, restore_bank, snapshot_bank
+from repro.crypto.cl_sig import CLKeyPair, CLPublicKey
+from repro.crypto.hashing import sha256
+from repro.ecash.dec import DECBank, DoubleSpendError, DoubleSpendEvidence
+from repro.ecash.spend import DECParams, SpendToken
+from repro.ecash.tree import leaf_serials
+
+__all__ = ["ShardedBank", "account_shard", "serial_shard"]
+
+
+def account_shard(aid: str, n_shards: int) -> int:
+    """Stable home shard of an account id."""
+    return int.from_bytes(sha256(b"account-shard", aid.encode()), "big") % n_shards
+
+
+def serial_shard(serial: int, n_shards: int) -> int:
+    """Stable home shard of a leaf serial."""
+    nbytes = (serial.bit_length() + 7) // 8 or 1
+    return int.from_bytes(
+        sha256(b"serial-shard", serial.to_bytes(nbytes, "big")), "big"
+    ) % n_shards
+
+
+class ShardedBank:
+    """N :class:`DECBank` shards behind the one-bank interface.
+
+    All shards share the same cryptographic identity (parameters and CL
+    keypair) — sharding partitions *state*, not *trust*.  Mutations are
+    plain dict operations; the expensive verification work happens
+    upstream in :mod:`repro.service.batcher`, so the apply path here is
+    safe to run serially under the server loop (which is what makes
+    "zero double-deposits admitted" a structural guarantee rather than
+    a race to win).
+    """
+
+    def __init__(
+        self,
+        params: DECParams,
+        keypair: CLKeyPair,
+        rng: random.Random,
+        *,
+        n_shards: int = 4,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.params = params
+        self.keypair = keypair
+        self.n_shards = n_shards
+        self.shards: list[DECBank] = [
+            DECBank(params=params, keypair=keypair, rng=rng) for _ in range(n_shards)
+        ]
+        self.deposit_seq = 0
+
+    @classmethod
+    def create(
+        cls, params: DECParams, rng: random.Random, *, n_shards: int = 4
+    ) -> "ShardedBank":
+        from repro.crypto.cl_sig import cl_keygen
+
+        return cls(params, cl_keygen(params.backend, rng), rng, n_shards=n_shards)
+
+    @property
+    def public_key(self) -> CLPublicKey:
+        return self.keypair.public
+
+    # -- placement ---------------------------------------------------------
+    def account_home(self, aid: str) -> DECBank:
+        return self.shards[account_shard(aid, self.n_shards)]
+
+    def serial_home(self, serial: int) -> DECBank:
+        return self.shards[serial_shard(serial, self.n_shards)]
+
+    # -- accounts ----------------------------------------------------------
+    def open_account(self, aid: str, initial_balance: int = 0) -> None:
+        self.account_home(aid).open_account(aid, initial_balance)
+
+    def has_account(self, aid: str) -> bool:
+        return aid in self.account_home(aid).accounts
+
+    def balance(self, aid: str) -> int:
+        return self.account_home(aid).balance(aid)
+
+    # -- withdraw ----------------------------------------------------------
+    def apply_withdrawal(self, aid: str) -> None:
+        """Debit one coin of value ``2^L`` and record the withdrawal.
+
+        The blind issuance itself (the crypto) happens in the batcher;
+        this is the serial bookkeeping step.  Raises :class:`ValueError`
+        when the account is unknown or underfunded — nothing is then
+        recorded, and the caller must discard the issued signature.
+        """
+        home = self.account_home(aid)
+        value = 1 << self.params.tree_level
+        if home.accounts.get(aid, 0) < value:
+            raise ValueError(f"account {aid!r} cannot cover a coin of value {value}")
+        home.accounts[aid] -= value
+        home.withdrawals.append(aid)
+
+    # -- deposit -----------------------------------------------------------
+    def expand_serials(self, token: SpendToken) -> list[int]:
+        """Leaf serials covered by *token* (tower exponentiations)."""
+        return leaf_serials(
+            self.params.tower, token.node, token.node_key, self.params.tree_level
+        )
+
+    def check_deposit(self, serials: Iterable[int]) -> DoubleSpendEvidence | None:
+        """First double-spend conflict among *serials*, or ``None``."""
+        for serial in serials:
+            prior = self.serial_home(serial)._seen_serials.get(serial)
+            if prior is not None:
+                return DoubleSpendEvidence(
+                    serial=serial, prior=prior[:3], offending_node=None
+                )
+        return None
+
+    def apply_deposit(
+        self, aid: str, token: SpendToken, serials: Sequence[int]
+    ) -> int:
+        """Record a *verified* deposit; returns the credited amount.
+
+        Re-checks for conflicts under the same lock-free-serial regime
+        as :meth:`DECBank.deposit`: on :class:`DoubleSpendError` nothing
+        is credited and no serials are recorded on any shard.
+        """
+        home = self.account_home(aid)
+        if aid not in home.accounts:
+            raise ValueError(f"unknown account {aid!r}")
+        conflict = self.check_deposit(serials)
+        if conflict is not None:
+            raise DoubleSpendError(
+                f"leaf serial already deposited (prior: {conflict.prior})",
+                evidence=DoubleSpendEvidence(
+                    serial=conflict.serial,
+                    prior=conflict.prior,
+                    offending_node=(aid, token.node.level, token.node.index),
+                ),
+            )
+        record = (aid, token.node.level, token.node.index, self.deposit_seq)
+        self.deposit_seq += 1
+        for serial in serials:
+            self.serial_home(serial)._seen_serials[serial] = record
+        amount = token.denomination(self.params.tree_level)
+        home.accounts[aid] += amount
+        return amount
+
+    # -- persistence (composed from core.ledger) ---------------------------
+    def snapshot(self) -> list[bytes]:
+        """One :func:`snapshot_bank` blob per shard, in shard order."""
+        for shard in self.shards:
+            # the global sequence counter rides along in every shard so
+            # any subset of restored shards can re-derive it
+            shard.deposit_seq = self.deposit_seq
+        return [snapshot_bank(shard) for shard in self.shards]
+
+    def restore(self, blobs: Sequence[bytes]) -> None:
+        """Restore all shards; shard count and order must match.
+
+        A corrupt blob raises :class:`~repro.core.ledger.SnapshotError`
+        identifying the shard; already-restored shards keep their new
+        state, so callers treat any raise as "restore failed, retry
+        from good blobs" (the blobs, not this object, are the source of
+        truth).
+        """
+        if len(blobs) != self.n_shards:
+            raise ValueError(
+                f"snapshot has {len(blobs)} shards, bank has {self.n_shards}"
+            )
+        from repro.core.ledger import SnapshotError
+
+        for index, (shard, blob) in enumerate(zip(self.shards, blobs)):
+            try:
+                restore_bank(shard, blob)
+            except SnapshotError as exc:
+                raise SnapshotError(f"shard {index}: {exc}") from exc
+        self.deposit_seq = max(shard.deposit_seq for shard in self.shards)
+
+    def merged(self, rng: random.Random | None = None) -> DECBank:
+        """The logical one-bank view: union of every shard's slice."""
+        merged = DECBank(
+            params=self.params,
+            keypair=self.keypair,
+            rng=rng or random.Random(0),
+        )
+        for shard in self.shards:
+            merged.accounts.update(shard.accounts)
+            merged.withdrawals.extend(shard.withdrawals)
+            merged._seen_serials.update(shard._seen_serials)
+        merged.deposit_seq = self.deposit_seq
+        return merged
+
+    def audit(self, *, outstanding_float: int | None = None) -> AuditReport:
+        """Cross-shard audit: placement invariants + the merged-book audit.
+
+        Composes :func:`repro.core.ledger.audit_bank` over the merged
+        view (so every single-bank invariant — balances, conservation,
+        serial-record consistency — is checked globally) and adds the
+        findings only a sharded store can violate: entries living on
+        the wrong shard or duplicated across shards.
+        """
+        findings: list[str] = []
+        seen_accounts: dict[str, int] = {}
+        seen_serials: dict[int, int] = {}
+        for index, shard in enumerate(self.shards):
+            for aid in shard.accounts:
+                if account_shard(aid, self.n_shards) != index:
+                    findings.append(
+                        f"account {aid!r} stored on shard {index}, "
+                        f"home is {account_shard(aid, self.n_shards)}"
+                    )
+                if aid in seen_accounts:
+                    findings.append(
+                        f"account {aid!r} duplicated on shards "
+                        f"{seen_accounts[aid]} and {index}"
+                    )
+                seen_accounts[aid] = index
+            for aid in shard.withdrawals:
+                if account_shard(aid, self.n_shards) != index:
+                    findings.append(
+                        f"withdrawal by {aid!r} recorded on shard {index}, "
+                        f"home is {account_shard(aid, self.n_shards)}"
+                    )
+            for serial in shard._seen_serials:
+                if serial_shard(serial, self.n_shards) != index:
+                    findings.append(
+                        f"serial {serial} stored on shard {index}, "
+                        f"home is {serial_shard(serial, self.n_shards)}"
+                    )
+                if serial in seen_serials:
+                    findings.append(
+                        f"serial {serial} duplicated on shards "
+                        f"{seen_serials[serial]} and {index}"
+                    )
+                seen_serials[serial] = index
+        merged_report = audit_bank(self.merged(), outstanding_float=outstanding_float)
+        return AuditReport(findings=tuple(findings) + merged_report.findings)

@@ -1,0 +1,107 @@
+"""Latency recorder, quantiles, SLO checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.latency import (
+    LatencyRecorder,
+    SLOTarget,
+    _quantile,
+    format_latency_report,
+)
+
+
+class TestQuantile:
+    def test_endpoints_and_median(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert _quantile(data, 0.0) == 1.0
+        assert _quantile(data, 0.5) == 3.0
+        assert _quantile(data, 1.0) == 5.0
+
+    def test_linear_interpolation(self):
+        assert _quantile([0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    def test_single_sample(self):
+        assert _quantile([7.0], 0.99) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _quantile([], 0.5)
+        with pytest.raises(ValueError):
+            _quantile([1.0], 1.5)
+
+
+class TestRecorder:
+    def test_report_statistics(self):
+        recorder = LatencyRecorder()
+        for v in (0.030, 0.010, 0.020):
+            recorder.record(v)
+        report = recorder.report()
+        assert report.count == 3
+        assert report.mean == pytest.approx(0.020)
+        assert report.p50 == pytest.approx(0.020)
+        assert report.maximum == pytest.approx(0.030)
+        assert report.p50_ms == pytest.approx(20.0)
+
+    def test_throughput_uses_marked_span(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.001)
+        recorder.record(0.001)
+        recorder.mark_span(10.0, 14.0)
+        assert recorder.report().throughput == pytest.approx(0.5)
+
+    def test_span_only_widens(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.001)
+        recorder.mark_span(5.0, 6.0)
+        recorder.mark_span(5.5, 5.8)  # inside: no effect
+        recorder.mark_span(4.0, 7.0)  # wider: wins
+        assert recorder.report().elapsed == pytest.approx(3.0)
+
+    def test_empty_report_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().report()
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-0.1)
+
+    def test_len(self):
+        recorder = LatencyRecorder()
+        assert len(recorder) == 0
+        recorder.record(0.5)
+        assert len(recorder) == 1
+
+
+class TestSLO:
+    def _report(self):
+        recorder = LatencyRecorder()
+        for v in (0.010, 0.020, 0.100):
+            recorder.record(v)
+        recorder.mark_span(0.0, 1.0)
+        return recorder.report()
+
+    def test_met(self):
+        report = self._report()
+        assert SLOTarget(p99=0.2, min_throughput=1.0).check(report) == ()
+
+    def test_latency_objective_missed(self):
+        findings = SLOTarget(p95=0.010).check(self._report())
+        assert len(findings) == 1 and "p95" in findings[0]
+
+    def test_throughput_objective_missed(self):
+        findings = SLOTarget(min_throughput=100.0).check(self._report())
+        assert len(findings) == 1 and "throughput" in findings[0]
+
+    def test_none_objectives_skipped(self):
+        assert SLOTarget().check(self._report()) == ()
+
+
+def test_format_latency_report_renders_fields():
+    recorder = LatencyRecorder()
+    recorder.record(0.042)
+    recorder.mark_span(0.0, 1.0)
+    text = format_latency_report(recorder.report(), title="deposits")
+    assert "[deposits]" in text
+    assert "p99" in text and "42.00 ms" in text

@@ -1,0 +1,37 @@
+"""Service-layer fixtures.
+
+Protocol-level service tests run on the toy pairing backend (the
+crypto inside the batcher is exercised against the real Tate backend
+by ``tests/ecash``); everything here is about sharding, batching,
+admission and the serving loop.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.service import MarketService, ShardedBank, VerificationBatcher
+
+
+@pytest.fixture()
+def sharded_bank(dec_params_toy, rng) -> ShardedBank:
+    return ShardedBank.create(dec_params_toy, rng, n_shards=4)
+
+
+@pytest.fixture()
+def service(sharded_bank) -> MarketService:
+    batcher = VerificationBatcher(
+        sharded_bank.params, sharded_bank.keypair, max_batch=8, seed=1
+    )
+    return MarketService(sharded_bank, batcher=batcher, rng=random.Random(5))
+
+
+def mint_tokens(service: MarketService, rng, n: int, *, node_level: int | None = None):
+    """Deposit-request list against *service* (accounts funded en route)."""
+    from repro.service.loadgen import mint_deposit_traffic
+
+    return mint_deposit_traffic(
+        service, rng, n_accounts=min(3, n), n_deposits=n, node_level=node_level
+    )

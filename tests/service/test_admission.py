@@ -1,0 +1,71 @@
+"""Token bucket and admission controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import AdmissionController, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(rate=1.0, burst=3)
+        assert [bucket.allow(0.0) for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=1)
+        assert bucket.allow(0.0)
+        assert not bucket.allow(0.0)
+        assert bucket.allow(0.5)  # 0.5 s * 2 tokens/s = 1 token back
+
+    def test_refill_capped_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2)
+        bucket.allow(0.0)
+        bucket.allow(0.0)
+        results = [bucket.allow(10.0), bucket.allow(10.0), bucket.allow(10.0)]
+        assert results == [True, True, False]
+
+    def test_disabled_bucket_always_allows(self):
+        bucket = TokenBucket(rate=None)
+        assert all(bucket.allow(0.0) for _ in range(100))
+
+    def test_time_going_backwards_does_not_refill(self):
+        bucket = TokenBucket(rate=1.0, burst=1)
+        assert bucket.allow(5.0)
+        assert not bucket.allow(1.0)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_unbounded_controller_admits_everything(self):
+        control = AdmissionController()
+        assert all(control.admit(0.0, depth).admitted for depth in (0, 10, 10**6))
+        assert control.shed_total == 0
+
+    def test_rate_shed_counted_with_reason(self):
+        control = AdmissionController(rate=1.0, burst=1)
+        assert control.admit(0.0, 0).admitted
+        decision = control.admit(0.0, 0)
+        assert not decision.admitted and decision.reason == "rate"
+        assert control.shed_by_rate == 1 and control.shed_by_queue == 0
+
+    def test_queue_shed_counted_with_reason(self):
+        control = AdmissionController(max_queue_depth=2)
+        assert control.admit(0.0, 1).admitted
+        decision = control.admit(0.0, 2)
+        assert not decision.admitted and decision.reason == "queue"
+        assert control.shed_by_queue == 1
+
+    def test_queue_shed_does_not_consume_rate_tokens(self):
+        control = AdmissionController(rate=1.0, burst=1, max_queue_depth=1)
+        assert not control.admit(0.0, 5).admitted  # shed on queue...
+        assert control.admit(0.0, 0).admitted  # ...token still there
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=0)

@@ -1,0 +1,196 @@
+"""Sharded bank: placement, deposits, snapshot/restore/audit."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.ledger import SnapshotError
+from repro.ecash.dec import DoubleSpendError
+from repro.service import MarketService, ShardedBank, account_shard, serial_shard
+
+from tests.service.conftest import mint_tokens
+
+
+class TestPlacement:
+    def test_account_shard_stable_and_in_range(self):
+        for aid in ("alice", "bob", "sp17", ""):
+            home = account_shard(aid, 4)
+            assert 0 <= home < 4
+            assert account_shard(aid, 4) == home  # no salted hashing
+
+    def test_serial_shard_stable_and_in_range(self):
+        for serial in (0, 1, 2**200 + 17, 31337):
+            home = serial_shard(serial, 4)
+            assert 0 <= home < 4
+            assert serial_shard(serial, 4) == home
+
+    def test_single_shard_maps_everything_home(self):
+        assert account_shard("anyone", 1) == 0
+        assert serial_shard(123456789, 1) == 0
+
+    def test_accounts_spread_across_shards(self):
+        homes = {account_shard(f"sp{i}", 4) for i in range(64)}
+        assert len(homes) > 1
+
+
+class TestAccounts:
+    def test_open_and_balance(self, sharded_bank):
+        sharded_bank.open_account("alice", 16)
+        assert sharded_bank.has_account("alice")
+        assert sharded_bank.balance("alice") == 16
+        assert not sharded_bank.has_account("bob")
+
+    def test_withdrawal_debits_and_records(self, sharded_bank):
+        value = 1 << sharded_bank.params.tree_level
+        sharded_bank.open_account("alice", value + 3)
+        sharded_bank.apply_withdrawal("alice")
+        assert sharded_bank.balance("alice") == 3
+        assert sharded_bank.account_home("alice").withdrawals == ["alice"]
+
+    def test_underfunded_withdrawal_rejected(self, sharded_bank):
+        sharded_bank.open_account("alice", 1)
+        with pytest.raises(ValueError, match="cannot cover"):
+            sharded_bank.apply_withdrawal("alice")
+        assert sharded_bank.balance("alice") == 1
+
+    def test_minimum_shard_count(self, dec_params_toy, rng):
+        with pytest.raises(ValueError):
+            ShardedBank.create(dec_params_toy, rng, n_shards=0)
+
+
+class TestDeposits:
+    def test_deposit_credits_denomination(self, service, rng):
+        requests = mint_tokens(service, rng, 2, node_level=1)
+        bank = service.bank
+        request = requests[0]
+        token = request.payload["token"]
+        serials = bank.expand_serials(token)
+        amount = bank.apply_deposit(request.sender, token, serials)
+        assert amount == token.denomination(bank.params.tree_level)
+
+    def test_exact_replay_rejected_atomically(self, service, rng):
+        requests = mint_tokens(service, rng, 1)
+        bank = service.bank
+        request = requests[0]
+        token = request.payload["token"]
+        serials = bank.expand_serials(token)
+        balance_after = None
+        bank.apply_deposit(request.sender, token, serials)
+        balance_after = bank.balance(request.sender)
+        with pytest.raises(DoubleSpendError) as exc_info:
+            bank.apply_deposit(request.sender, token, serials)
+        evidence = exc_info.value.evidence
+        assert evidence is not None and evidence.serial in serials
+        # nothing credited, no serial rewritten
+        assert bank.balance(request.sender) == balance_after
+
+    def test_conflicting_serials_caught_across_shards(self, service, rng):
+        """A token sharing any leaf serial conflicts regardless of where
+        the other serials live."""
+        requests = mint_tokens(service, rng, 1, node_level=0)  # whole coin
+        bank = service.bank
+        request = requests[0]
+        token = request.payload["token"]
+        serials = bank.expand_serials(token)
+        assert len(serials) == 1 << bank.params.tree_level
+        bank.apply_deposit(request.sender, token, serials)
+        # overlapping subset: same node replayed under a different alias
+        bank.open_account("mallory", 0)
+        with pytest.raises(DoubleSpendError):
+            bank.apply_deposit("mallory", token, serials[:1])
+
+    def test_unknown_account_rejected(self, service, rng):
+        requests = mint_tokens(service, rng, 1)
+        token = requests[0].payload["token"]
+        serials = service.bank.expand_serials(token)
+        with pytest.raises(ValueError, match="unknown account"):
+            service.bank.apply_deposit("nobody", token, serials)
+
+
+def _deposited_bank(service, rng, n=4):
+    """A bank with *n* applied deposits, plus the applied requests."""
+    requests = mint_tokens(service, rng, n, node_level=1)
+    bank = service.bank
+    for request in requests:
+        token = request.payload["token"]
+        bank.apply_deposit(request.sender, token, bank.expand_serials(token))
+    return bank, requests
+
+
+class TestSnapshotRoundTrip:
+    def test_snapshot_restore_audit_round_trip(self, service, rng, dec_params_toy):
+        bank, _ = _deposited_bank(service, rng)
+        blobs = bank.snapshot()
+        assert len(blobs) == bank.n_shards
+
+        restored = ShardedBank(
+            dec_params_toy, bank.keypair, random.Random(9), n_shards=bank.n_shards
+        )
+        restored.restore(blobs)
+        assert restored.audit().clean
+        assert restored.merged().accounts == bank.merged().accounts
+        assert restored.merged()._seen_serials == bank.merged()._seen_serials
+        assert restored.deposit_seq == bank.deposit_seq
+
+    def test_restored_bank_still_detects_double_spends(self, service, rng, dec_params_toy):
+        bank, requests = _deposited_bank(service, rng)
+        restored = ShardedBank(
+            dec_params_toy, bank.keypair, random.Random(9), n_shards=bank.n_shards
+        )
+        restored.restore(bank.snapshot())
+        token = requests[0].payload["token"]
+        with pytest.raises(DoubleSpendError):
+            restored.apply_deposit(
+                requests[0].sender, token, restored.expand_serials(token)
+            )
+
+    @pytest.mark.parametrize("shard_index", [0, 1, 2, 3])
+    def test_corrupt_shard_blob_identified(self, service, rng, dec_params_toy, shard_index):
+        bank, _ = _deposited_bank(service, rng)
+        blobs = bank.snapshot()
+        bad = bytearray(blobs[shard_index])
+        bad[-1] ^= 0xFF
+        blobs[shard_index] = bytes(bad)
+        restored = ShardedBank(
+            dec_params_toy, bank.keypair, random.Random(9), n_shards=bank.n_shards
+        )
+        with pytest.raises(SnapshotError, match=f"shard {shard_index}"):
+            restored.restore(blobs)
+
+    def test_shard_count_mismatch_rejected(self, service, rng, dec_params_toy):
+        bank, _ = _deposited_bank(service, rng)
+        restored = ShardedBank(
+            dec_params_toy, bank.keypair, random.Random(9), n_shards=2
+        )
+        with pytest.raises(ValueError, match="shards"):
+            restored.restore(bank.snapshot())
+
+
+class TestCrossShardAudit:
+    def test_clean_after_traffic(self, service, rng):
+        bank, _ = _deposited_bank(service, rng)
+        assert bank.audit().clean
+
+    def test_misplaced_account_flagged(self, sharded_bank):
+        sharded_bank.open_account("alice", 4)
+        home = account_shard("alice", sharded_bank.n_shards)
+        wrong = (home + 1) % sharded_bank.n_shards
+        balance = sharded_bank.shards[home].accounts.pop("alice")
+        sharded_bank.shards[wrong].accounts["alice"] = balance
+        report = sharded_bank.audit()
+        assert any("wrong" in f or "home is" in f for f in report.findings)
+
+    def test_duplicated_serial_flagged(self, service, rng):
+        bank, _ = _deposited_bank(service, rng)
+        serial, record = next(iter(bank.serial_home(0)._seen_serials.items())) if \
+            bank.serial_home(0)._seen_serials else (None, None)
+        merged = bank.merged()
+        serial, record = next(iter(merged._seen_serials.items()))
+        home = serial_shard(serial, bank.n_shards)
+        other = (home + 1) % bank.n_shards
+        bank.shards[other]._seen_serials[serial] = record
+        report = bank.audit()
+        assert not report.clean
+        assert any("duplicated" in f for f in report.findings)

@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Import hygiene linter for ``src/repro`` (the ``make lint-imports`` rule).
+
+Two checks, both over *top-level* imports only (imports inside function
+bodies are deliberately lazy and exempt — that is the sanctioned way to
+break a genuine layering knot, e.g. the codec registry):
+
+1. **No module-level import cycles.**  Tarjan SCC over the module
+   graph; any strongly connected component larger than one module is a
+   cycle Python may or may not survive depending on import order.
+2. **Package layering.**  Each top-level package may import only the
+   packages listed for it in :data:`ALLOWED` — the codified
+   architecture of ``docs/architecture.md``.  Adding a new dependency
+   edge is a deliberate act: extend the table in the same change.
+
+Exit status is non-zero when any finding is produced, so CI can gate
+on it.  No third-party dependencies; stdlib ``ast`` only.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+#: package -> packages it may import at module level (itself always allowed)
+ALLOWED: dict[str, set[str]] = {
+    "_util": set(),
+    "crypto": {"_util"},
+    "ecash": {"crypto", "net"},
+    "net": {"crypto", "ecash", "metrics"},
+    "metrics": {"attacks", "core", "crypto", "ecash"},
+    "core": {"crypto", "ecash", "metrics", "net"},
+    "attacks": {"core", "crypto", "ecash", "net"},
+    "workloads": {"net"},
+    "sim": {"attacks", "core"},
+    "service": {"core", "crypto", "ecash", "metrics", "net"},
+    "cli": {"attacks", "core", "crypto", "ecash", "metrics"},
+    # the root package re-exports everything
+    "(root)": {
+        "_util", "attacks", "cli", "core", "crypto", "ecash", "metrics",
+        "net", "service", "sim", "workloads",
+    },
+}
+
+
+def _module_name(path: pathlib.Path) -> str:
+    parts = list(path.relative_to(SRC).with_suffix("").parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _top_level_imports(tree: ast.Module):
+    """Imports executed at module import time (incl. under try/if)."""
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+        elif isinstance(node, (ast.If, ast.Try)):
+            for sub in ast.walk(node):
+                if isinstance(sub, (ast.Import, ast.ImportFrom)):
+                    yield sub
+
+
+def _package_of(module: str) -> str:
+    parts = module.split(".")
+    return parts[1] if len(parts) > 1 else "(root)"
+
+
+def build_graph() -> tuple[dict[str, pathlib.Path], dict[str, set[str]]]:
+    modules = {_module_name(p): p for p in (SRC / "repro").rglob("*.py")}
+    graph: dict[str, set[str]] = {m: set() for m in modules}
+    for module, path in modules.items():
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in _top_level_imports(tree):
+            targets: list[str] = []
+            if isinstance(node, ast.Import):
+                targets = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                # `from repro.x import y` may target module repro.x.y
+                targets = [node.module] + [
+                    f"{node.module}.{alias.name}" for alias in node.names
+                ]
+            for target in targets:
+                if target in modules and target != module:
+                    graph[module].add(target)
+    return modules, graph
+
+
+def find_cycles(graph: dict[str, set[str]]) -> list[list[str]]:
+    """Strongly connected components with more than one module."""
+    sys.setrecursionlimit(max(sys.getrecursionlimit(), 4 * len(graph) + 100))
+    counter = [0]
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    stack: list[str] = []
+    on_stack: set[str] = set()
+    cycles: list[list[str]] = []
+
+    def connect(v: str) -> None:
+        index[v] = lowlink[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in sorted(graph.get(v, ())):
+            if w not in index:
+                connect(w)
+                lowlink[v] = min(lowlink[v], lowlink[w])
+            elif w in on_stack:
+                lowlink[v] = min(lowlink[v], index[w])
+        if lowlink[v] == index[v]:
+            component = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                component.append(w)
+                if w == v:
+                    break
+            if len(component) > 1:
+                cycles.append(sorted(component))
+
+    for module in sorted(graph):
+        if module not in index:
+            connect(module)
+    return cycles
+
+
+def find_layering_violations(graph: dict[str, set[str]]) -> list[str]:
+    findings = []
+    for module, targets in sorted(graph.items()):
+        src_pkg = _package_of(module)
+        allowed = ALLOWED.get(src_pkg)
+        if allowed is None:
+            findings.append(
+                f"{module}: package {src_pkg!r} missing from the layering table"
+            )
+            continue
+        for target in sorted(targets):
+            dst_pkg = _package_of(target)
+            if dst_pkg != src_pkg and dst_pkg not in allowed:
+                findings.append(
+                    f"{module}: imports {target} "
+                    f"({src_pkg} may not depend on {dst_pkg})"
+                )
+    return findings
+
+
+def main() -> int:
+    modules, graph = build_graph()
+    findings: list[str] = []
+    for cycle in find_cycles(graph):
+        findings.append("import cycle: " + " -> ".join(cycle))
+    findings.extend(find_layering_violations(graph))
+    if findings:
+        print(f"lint-imports: {len(findings)} finding(s)")
+        for finding in findings:
+            print(f"  {finding}")
+        return 1
+    print(f"lint-imports: OK ({len(modules)} modules, no cycles, layering clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
