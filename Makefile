@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install dev test bench bench-json service-bench report examples lint-imports clean
+.PHONY: install dev test bench bench-json service-bench fastexp-bench report examples lint-imports clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -24,6 +24,9 @@ bench-json:
 
 service-bench:
 	$(PYTHON) -m pytest benchmarks/bench_service_throughput.py --benchmark-only --benchmark-json=bench_results.json
+
+fastexp-bench:
+	$(PYTHON) -m pytest benchmarks/bench_fastexp.py --benchmark-only --benchmark-json=BENCH_fastexp.json
 
 lint-imports:
 	$(PYTHON) tools/lint_imports.py

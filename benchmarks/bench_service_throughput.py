@@ -18,6 +18,13 @@ A companion (non-timed) overload run drives the batched service past
 its admission bound with guaranteed double-spend replays: the service
 must shed with explicit ``BUSY`` replies, admit **zero**
 double-deposits, and still pass the cross-shard audit.
+
+The fixed-base/Miller tables of :mod:`repro.crypto.fastexp` are
+**disabled** for every timed replay here: they speed up the per-token
+baseline even more than the batched path (5 pairings per token all
+hit the Miller cache), which would confound the variable this bench
+isolates — batching.  The tables' own end-to-end effect is measured
+by :mod:`benchmarks.bench_fastexp`.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import time
 
 import pytest
 
+from repro.crypto import fastexp
 from repro.crypto.cl_sig import cl_keygen
 from repro.ecash.dec import setup
 from repro.service import (
@@ -76,7 +84,7 @@ def _make_service(workload, *, n_shards, max_batch, pairing_batch,
         bank.account_home(aid).withdrawals.append(aid)
     batcher = VerificationBatcher(
         params, keypair, max_batch=max_batch, processes=1,
-        pairing_batch=pairing_batch, seed=5,
+        pairing_batch=pairing_batch, seed=5, warm_tables=False,
     )
     return MarketService(
         bank, batcher=batcher,
@@ -85,10 +93,20 @@ def _make_service(workload, *, n_shards, max_batch, pairing_batch,
 
 
 def _replay(workload, **config) -> float:
-    """Wall seconds to serve the whole workload under *config*."""
+    """Wall seconds to serve the whole workload under *config*.
+
+    Fast-exp tables off for the timed region — see the module
+    docstring.
+    """
     _, _, _, requests, arrivals = workload
-    service = _make_service(workload, **config)
-    report = run_trace(service, requests, arrivals)
+    previous = fastexp.configure(enabled=False)
+    fastexp.reset()
+    try:
+        service = _make_service(workload, **config)
+        report = run_trace(service, requests, arrivals)
+    finally:
+        fastexp.configure(**previous)
+        fastexp.reset()
     assert report.ok == len(requests), report
     return report.wall_elapsed
 

@@ -65,11 +65,16 @@ class CLSignature:
     c: Any
 
 
+def _exp_fixed(backend, base, scalar: int):
+    """Exponentiate a long-lived base, via the backend's table cache if any."""
+    return getattr(backend, "exp_fixed", backend.exp)(base, scalar)
+
+
 def cl_keygen(backend, rng: random.Random) -> CLKeyPair:
     """Generate a CL key pair on *backend*."""
     x = backend.random_scalar(rng)
     y = backend.random_scalar(rng)
-    public = CLPublicKey(X=backend.exp(backend.g, x), Y=backend.exp(backend.g, y))
+    public = CLPublicKey(X=_exp_fixed(backend, backend.g, x), Y=_exp_fixed(backend, backend.g, y))
     return CLKeyPair(x=x, y=y, public=public)
 
 
@@ -77,7 +82,7 @@ def cl_sign(backend, keypair: CLKeyPair, message: int, rng: random.Random) -> CL
     """Sign scalar *message* (reduced mod group order)."""
     m = message % backend.order
     alpha = backend.random_scalar(rng)
-    a = backend.exp(backend.g, alpha)
+    a = _exp_fixed(backend, backend.g, alpha)
     b = backend.exp(a, keypair.y)
     c = backend.exp(a, (keypair.x + keypair.x * keypair.y * m) % backend.order)
     return CLSignature(a=a, b=b, c=c)
@@ -116,7 +121,7 @@ def cl_blind_request(backend, message: int, rng: random.Random) -> tuple[BlindIs
     must remember for unwrap-time verification.
     """
     m = message % backend.order
-    commitment = backend.exp(backend.g, m)
+    commitment = _exp_fixed(backend, backend.g, m)
     transcript = Transcript(b"cl-blind-issuance")
     transcript.absorb_ints(*_encode(backend, backend.g))
     transcript.absorb_ints(*_encode(backend, commitment))
@@ -139,7 +144,7 @@ def cl_blind_issue(
     if not verify_dlog_generic(backend, backend.g, request.commitment, request.proof, transcript):
         raise ValueError("blind issuance request proof failed")
     alpha = backend.random_scalar(rng)
-    a = backend.exp(backend.g, alpha)
+    a = _exp_fixed(backend, backend.g, alpha)
     b = backend.exp(a, keypair.y)
     # c = a^x * M^(α x y)  =  a^(x + x y m)
     c = backend.mul(

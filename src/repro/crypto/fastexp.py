@@ -1,0 +1,672 @@
+"""Fixed-base precomputation tables and simultaneous multi-exponentiation.
+
+Every spend/deposit verification in the market is dominated by modular
+exponentiations whose bases are *fixed for the lifetime of the market*:
+the tower generators ``g, h, γ`` of each storey, the bank's CL public
+key, and the pairing-group generator.  This module turns that
+repetition into speed with three primitives:
+
+* :class:`FixedBaseTable` — a Lim–Lee *comb* over ``Z_p``: the exponent
+  bits are read in ``teeth`` interleaved streams so one exponentiation
+  costs ``ceil(bits/teeth/splits) - 1`` squarings plus roughly
+  ``ceil(bits/teeth)`` table multiplies, against ``~1.5 * bits``
+  multiplies for square-and-multiply.  At paper parameters (1024-bit
+  modulus, 160-bit exponents) this is a 5–6× win once the table exists.
+* :class:`GenericFixedBaseTable` — the same comb over any group given
+  as an ``(identity, op)`` pair; used for fixed curve points, where
+  every group operation is a Python-level affine addition.
+* :func:`multi_exp` / :func:`multi_exp_generic` — Straus/Shamir
+  simultaneous exponentiation for the ``g^s · y^e``-shaped products of
+  sigma-protocol verification: one shared doubling chain across all
+  bases instead of one per base.
+
+Tables are cached in :class:`PromotionCache` instances — bounded LRU
+maps that only *build* a table after a base has been seen
+``promote_after`` times, so one-shot exponentiations never pay the
+build cost.  All caches register themselves in a module registry;
+:func:`stats` aggregates their hit/miss/build/eviction counters (also
+surfaced through :func:`repro.metrics.opcount.fastexp_stats`).
+
+Two global gates keep the fallback path exactly as fast as before:
+:func:`configure` ``(enabled=False)`` (or environment
+``REPRO_FASTEXP=0``) disables every table path, and
+``min_modulus_bits`` keeps the *integer* comb away from small moduli
+where CPython's C-level ``pow`` beats any Python-level loop.  With
+tables on or off, results are bit-identical — the comb computes the
+same group element ``pow`` does.
+
+This module must stay dependency-free: it imports nothing from
+``repro`` (enforced by ``tools/lint_imports.py``) so every layer —
+crypto, e-cash, service — can use it without cycles.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "CacheStats",
+    "FixedBaseTable",
+    "GenericFixedBaseTable",
+    "PromotionCache",
+    "multi_exp",
+    "multi_exp_generic",
+    "exp_fixed",
+    "warm_fixed_base",
+    "configure",
+    "enabled",
+    "stats",
+    "reset",
+]
+
+
+# ---------------------------------------------------------------------------
+# counters
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CacheStats:
+    """Counters for one table cache.
+
+    ``hits`` — exponentiations served from a built table; ``misses`` —
+    calls that fell back to the naive path because no table existed
+    yet; ``builds`` — tables constructed (by promotion or warming);
+    ``evictions`` — tables dropped by the LRU bound; ``bypasses`` —
+    calls that skipped the cache entirely (disabled, or modulus below
+    the integer gate).
+    """
+
+    hits: int = 0
+    misses: int = 0
+    builds: int = 0
+    evictions: int = 0
+    bypasses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "builds": self.builds,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of non-bypassed lookups served from a table."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+# ---------------------------------------------------------------------------
+# fixed-base comb tables
+# ---------------------------------------------------------------------------
+
+class FixedBaseTable:
+    """Lim–Lee comb precomputation for ``base^e mod modulus``.
+
+    The ``bits``-bit exponent is split into ``teeth`` blocks of
+    ``a = ceil(bits/teeth)`` bits; bit *t* of every block forms one comb
+    *column*, selecting the precomputed product
+    ``Π_{i : column bit i set} base^(2^(a·i))``.  Each block is further
+    cut into ``splits`` sub-blocks with their own (pre-shifted) table,
+    which divides the squaring count by ``splits`` at the price of
+    ``splits × 2^teeth`` stored elements.
+
+    Exponents are reduced modulo *order* when given (sound for any
+    element of the order-*order* subgroup); otherwise exponents that do
+    not fit in ``bits`` fall back to :func:`pow`.
+    """
+
+    __slots__ = ("base", "modulus", "order", "bits", "teeth", "splits",
+                 "_block", "_sub", "_tables")
+
+    def __init__(
+        self,
+        base: int,
+        modulus: int,
+        *,
+        bits: int | None = None,
+        order: int | None = None,
+        teeth: int = 8,
+        splits: int = 4,
+    ) -> None:
+        if modulus < 3:
+            raise ValueError("modulus too small")
+        if teeth < 1 or splits < 1:
+            raise ValueError("teeth and splits must be positive")
+        if bits is None:
+            if order is None:
+                raise ValueError("need an exponent bit bound: pass bits or order")
+            bits = order.bit_length()
+        if bits < 1:
+            raise ValueError("bits must be positive")
+        self.base = base % modulus
+        self.modulus = modulus
+        self.order = order
+        self.bits = bits
+        self.teeth = teeth
+        self.splits = splits
+        a = -(-bits // teeth)          # comb block size
+        b = -(-a // splits)            # sub-block size (squarings per exp)
+        self._block = a
+        self._sub = b
+
+        # base powers g_i = base^(2^(a*i)) spanning the comb teeth
+        m = modulus
+        gi = []
+        acc = self.base
+        for i in range(teeth):
+            gi.append(acc)
+            if i < teeth - 1:
+                for _ in range(a):
+                    acc = acc * acc % m
+        # T[0][k] = Π_{i in k} g_i  via the lowest-set-bit recurrence;
+        # T[j] = T[j-1] shifted up by the sub-block width.
+        size = 1 << teeth
+        first = [1] * size
+        for k in range(1, size):
+            lsb = k & -k
+            first[k] = first[k ^ lsb] * gi[lsb.bit_length() - 1] % m
+        tables = [first]
+        for _ in range(1, splits):
+            prev = tables[-1]
+            cur = [1] * size
+            for k in range(1, size):
+                x = prev[k]
+                for _ in range(b):
+                    x = x * x % m
+                cur[k] = x
+            tables.append(cur)
+        self._tables = tables
+
+    @property
+    def table_size(self) -> int:
+        """Number of stored group elements."""
+        return self.splits * (1 << self.teeth)
+
+    def exp(self, exponent: int) -> int:
+        """``base^exponent mod modulus`` — identical to ``pow``."""
+        e = exponent
+        if self.order is not None:
+            e %= self.order
+        if e < 0 or e.bit_length() > self.bits:
+            # out of the precomputed range: exact fallback
+            return pow(self.base, e, self.modulus)
+        m = self.modulus
+        tables = self._tables
+        a = self._block
+        b = self._sub
+        teeth = self.teeth
+        acc = 1
+        for t in range(b - 1, -1, -1):
+            acc = acc * acc % m
+            for j in range(self.splits - 1, -1, -1):
+                pos = j * b + t
+                if pos >= a:
+                    # splits*sub overshoots the block; those columns are empty
+                    continue
+                k = 0
+                bitpos = pos
+                for i in range(teeth):
+                    if (e >> bitpos) & 1:
+                        k |= 1 << i
+                    bitpos += a
+                if k:
+                    acc = acc * tables[j][k] % m
+        return acc
+
+
+class GenericFixedBaseTable:
+    """The same comb over an arbitrary group given as ``(identity, op)``.
+
+    Used for groups whose operation is itself Python-level work (curve
+    points, extension-field elements) — there the comb's op-count
+    reduction pays off at *any* size.  Exponents must already be
+    reduced into ``[0, 2^bits)``.
+    """
+
+    __slots__ = ("identity", "op", "base", "bits", "teeth", "splits",
+                 "_block", "_sub", "_tables")
+
+    def __init__(
+        self,
+        identity: Any,
+        op: Callable[[Any, Any], Any],
+        base: Any,
+        bits: int,
+        *,
+        teeth: int = 6,
+        splits: int = 2,
+    ) -> None:
+        if bits < 1:
+            raise ValueError("bits must be positive")
+        if teeth < 1 or splits < 1:
+            raise ValueError("teeth and splits must be positive")
+        self.identity = identity
+        self.op = op
+        self.base = base
+        self.bits = bits
+        self.teeth = teeth
+        self.splits = splits
+        a = -(-bits // teeth)
+        b = -(-a // splits)
+        self._block = a
+        self._sub = b
+
+        gi = []
+        acc = base
+        for i in range(teeth):
+            gi.append(acc)
+            if i < teeth - 1:
+                for _ in range(a):
+                    acc = op(acc, acc)
+        size = 1 << teeth
+        first: list[Any] = [identity] * size
+        for k in range(1, size):
+            lsb = k & -k
+            first[k] = op(first[k ^ lsb], gi[lsb.bit_length() - 1])
+        tables = [first]
+        for _ in range(1, splits):
+            prev = tables[-1]
+            cur: list[Any] = [identity] * size
+            for k in range(1, size):
+                x = prev[k]
+                for _ in range(b):
+                    x = op(x, x)
+                cur[k] = x
+            tables.append(cur)
+        self._tables = tables
+
+    @property
+    def table_size(self) -> int:
+        return self.splits * (1 << self.teeth)
+
+    def exp(self, exponent: int) -> Any:
+        if exponent < 0 or exponent.bit_length() > self.bits:
+            raise ValueError("exponent outside the precomputed range")
+        op = self.op
+        tables = self._tables
+        a = self._block
+        b = self._sub
+        acc = self.identity
+        for t in range(b - 1, -1, -1):
+            acc = op(acc, acc)
+            for j in range(self.splits - 1, -1, -1):
+                pos = j * b + t
+                if pos >= a:
+                    continue
+                k = 0
+                bitpos = pos
+                for i in range(self.teeth):
+                    if (exponent >> bitpos) & 1:
+                        k |= 1 << i
+                    bitpos += a
+                if k:
+                    acc = op(acc, tables[j][k])
+        return acc
+
+
+# ---------------------------------------------------------------------------
+# simultaneous multi-exponentiation (Straus/Shamir)
+# ---------------------------------------------------------------------------
+
+def multi_exp(
+    bases: Sequence[int],
+    exponents: Sequence[int],
+    modulus: int,
+    *,
+    window: int = 4,
+) -> int:
+    """``Π bases[i]^exponents[i] mod modulus`` with one shared chain.
+
+    All bases share a single doubling chain (``max_bits`` squarings
+    total instead of per base), each paying only a small per-window
+    table lookup-multiply — the Straus/Shamir trick for the ubiquitous
+    ``g^s · y^e`` verification products.  Zero exponents are skipped;
+    the empty product is ``1``.  Exponents are taken over the integers
+    (reduce modulo the group order first when that is sound), must be
+    non-negative, and ``bases``/``exponents`` must have equal length.
+    """
+    if len(bases) != len(exponents):
+        raise ValueError("bases and exponents must have the same length")
+    if modulus < 1:
+        raise ValueError("modulus must be positive")
+    if window < 1:
+        raise ValueError("window must be positive")
+    for e in exponents:
+        if e < 0:
+            raise ValueError("exponents must be non-negative")
+    pairs = [(b % modulus, e) for b, e in zip(bases, exponents) if e > 0]
+    if not pairs:
+        return 1 % modulus
+    m = modulus
+    table_size = 1 << window
+    tables = []
+    for b, _ in pairs:
+        table = [1, b]
+        x = b
+        for _ in range(table_size - 2):
+            x = x * b % m
+            table.append(x)
+        tables.append(table)
+    max_bits = max(e.bit_length() for _, e in pairs)
+    n_windows = (max_bits + window - 1) // window
+    mask = table_size - 1
+    acc = 1
+    for w in range(n_windows - 1, -1, -1):
+        if w != n_windows - 1:
+            for _ in range(window):
+                acc = acc * acc % m
+        shift = w * window
+        for (_, e), table in zip(pairs, tables):
+            digit = (e >> shift) & mask
+            if digit:
+                acc = acc * table[digit] % m
+    return acc
+
+
+def multi_exp_generic(
+    identity: Any,
+    op: Callable[[Any, Any], Any],
+    elements: Sequence[Any],
+    scalars: Sequence[int],
+    *,
+    window: int = 4,
+) -> Any:
+    """Straus multi-exponentiation over an ``(identity, op)`` group.
+
+    Same contract as :func:`multi_exp` (strict lengths, non-negative
+    scalars, zeros skipped) for element types that are not plain ints —
+    the drop-in fallback the batch verifier uses when a backend has no
+    fused ``multi_exp`` of its own.
+    """
+    if len(elements) != len(scalars):
+        raise ValueError("elements and scalars must have the same length")
+    if window < 1:
+        raise ValueError("window must be positive")
+    for s in scalars:
+        if s < 0:
+            raise ValueError("scalars must be non-negative")
+    pairs = [(el, s) for el, s in zip(elements, scalars) if s > 0]
+    if not pairs:
+        return identity
+    table_size = 1 << window
+    tables = []
+    for el, _ in pairs:
+        table = [identity, el]
+        for _ in range(table_size - 2):
+            table.append(op(table[-1], el))
+        tables.append(table)
+    max_bits = max(s.bit_length() for _, s in pairs)
+    n_windows = (max_bits + window - 1) // window
+    mask = table_size - 1
+    acc = identity
+    for w in range(n_windows - 1, -1, -1):
+        if w != n_windows - 1:
+            for _ in range(window):
+                acc = op(acc, acc)
+        shift = w * window
+        for (_, s), table in zip(pairs, tables):
+            digit = (s >> shift) & mask
+            if digit:
+                acc = op(acc, table[digit])
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# promotion cache
+# ---------------------------------------------------------------------------
+
+#: registry of live caches, for aggregate stats (weak so throwaway
+#: backends in tests don't accumulate)
+_REGISTRY: list[weakref.ref] = []
+
+
+class PromotionCache:
+    """Bounded LRU of precomputed tables with usage promotion.
+
+    A table is only *built* once its key has been requested more than
+    ``promote_after`` times — before that :meth:`get` returns ``None``
+    and the caller takes its naive path.  This keeps one-shot bases
+    (per-proof commitments, throwaway test groups) from ever paying a
+    build, while steady-state bases (market generators, bank keys)
+    promote within a handful of calls.  :meth:`force` builds
+    unconditionally — the warm-up path.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        builder: Callable[..., Any],
+        *,
+        max_entries: int = 32,
+        promote_after: int = 4,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        if promote_after < 0:
+            raise ValueError("promote_after cannot be negative")
+        self.name = name
+        self.max_entries = max_entries
+        self.promote_after = promote_after
+        self.stats = CacheStats()
+        self._builder = builder
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+        self._pending: OrderedDict[Any, int] = OrderedDict()
+        _REGISTRY.append(weakref.ref(self))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Any, *build_args: Any) -> Any | None:
+        """The table for *key*, or ``None`` while below the threshold."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        uses = self._pending.get(key, 0) + 1
+        if uses <= self.promote_after:
+            self.stats.misses += 1
+            self._pending[key] = uses
+            self._pending.move_to_end(key)
+            # the pending map is bookkeeping, not payload — keep it small
+            while len(self._pending) > 8 * self.max_entries:
+                self._pending.popitem(last=False)
+            return None
+        return self.force(key, *build_args)
+
+    def force(self, key: Any, *build_args: Any) -> Any:
+        """Build (or fetch) the table for *key* unconditionally."""
+        self._pending.pop(key, None)
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._builder(*build_args)
+            self.stats.builds += 1
+            self._entries[key] = entry
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        self._entries.move_to_end(key)
+        return entry
+
+    def clear(self) -> None:
+        """Drop every table and pending count; reset the counters."""
+        self._entries.clear()
+        self._pending.clear()
+        self.stats = CacheStats()
+
+
+# ---------------------------------------------------------------------------
+# module-level configuration and the shared integer cache
+# ---------------------------------------------------------------------------
+
+_CONFIG: dict[str, Any] = {
+    # REPRO_FASTEXP=0 force-disables every table path (A/B runs, CI)
+    "enabled": os.environ.get("REPRO_FASTEXP", "1").strip().lower()
+    not in {"0", "off", "false", "no"},
+    "promote_after": 4,
+    "max_tables": 64,
+    "teeth": 8,
+    "splits": 4,
+    # below this modulus size C-level pow beats a Python-level comb
+    "min_modulus_bits": 192,
+}
+
+
+def _build_int_table(base: int, modulus: int, bits: int, order: int | None) -> FixedBaseTable:
+    return FixedBaseTable(
+        base,
+        modulus,
+        bits=bits,
+        order=order,
+        teeth=_CONFIG["teeth"],
+        splits=_CONFIG["splits"],
+    )
+
+
+_INT_TABLES = PromotionCache(
+    "fastexp.int",
+    _build_int_table,
+    max_entries=_CONFIG["max_tables"],
+    promote_after=_CONFIG["promote_after"],
+)
+
+
+def enabled() -> bool:
+    """Whether any table path may be taken (the global toggle)."""
+    return _CONFIG["enabled"]
+
+
+def promote_after() -> int:
+    """The configured promotion threshold (read by backend caches)."""
+    return _CONFIG["promote_after"]
+
+
+def configure(
+    *,
+    enabled: bool | None = None,
+    promote_after: int | None = None,
+    max_tables: int | None = None,
+    teeth: int | None = None,
+    splits: int | None = None,
+    min_modulus_bits: int | None = None,
+) -> dict[str, Any]:
+    """Update the global fast-exp policy; returns the *previous* config.
+
+    The returned mapping can be passed back as ``configure(**prev)`` to
+    restore — the pattern the toggle tests use.
+    """
+    previous = dict(_CONFIG)
+    updates = {
+        "enabled": enabled,
+        "promote_after": promote_after,
+        "max_tables": max_tables,
+        "teeth": teeth,
+        "splits": splits,
+        "min_modulus_bits": min_modulus_bits,
+    }
+    for key, value in updates.items():
+        if value is not None:
+            _CONFIG[key] = value
+    if promote_after is not None:
+        _INT_TABLES.promote_after = promote_after
+    if max_tables is not None:
+        _INT_TABLES.max_entries = max_tables
+    return previous
+
+
+def exp_fixed(
+    base: int,
+    modulus: int,
+    exponent: int,
+    *,
+    order: int | None = None,
+    bits: int | None = None,
+) -> int:
+    """``pow(base, exponent, modulus)`` through the fixed-base cache.
+
+    Semantics are identical to ``pow`` (with *order* given, the
+    exponent is first reduced modulo it — sound for any element of
+    that subgroup, and what :class:`~repro.crypto.groups.SchnorrGroup`
+    does anyway).  The table path is taken only when globally enabled,
+    the modulus clears ``min_modulus_bits``, and this base has been
+    seen often enough to have been promoted.
+    """
+    if order is not None:
+        exponent %= order
+    if not _CONFIG["enabled"] or modulus.bit_length() < _CONFIG["min_modulus_bits"]:
+        _INT_TABLES.stats.bypasses += 1
+        return pow(base, exponent, modulus)
+    if bits is None:
+        bits = order.bit_length() if order is not None else max(exponent.bit_length(), 1)
+    table = _INT_TABLES.get((modulus, base), base, modulus, bits, order)
+    if table is None:
+        return pow(base, exponent, modulus)
+    return table.exp(exponent)
+
+
+def warm_fixed_base(
+    base: int,
+    modulus: int,
+    *,
+    order: int | None = None,
+    bits: int | None = None,
+) -> bool:
+    """Eagerly build the table for a known-hot base.
+
+    Returns ``True`` when a table is (now) resident; honors the same
+    global gates as :func:`exp_fixed`, so warming a base the cache
+    would never use is a counted no-op.
+    """
+    if not _CONFIG["enabled"] or modulus.bit_length() < _CONFIG["min_modulus_bits"]:
+        _INT_TABLES.stats.bypasses += 1
+        return False
+    if bits is None:
+        if order is None:
+            raise ValueError("need an exponent bit bound: pass bits or order")
+        bits = order.bit_length()
+    _INT_TABLES.force((modulus, base), base, modulus, bits, order)
+    return True
+
+
+def stats() -> dict[str, dict[str, int]]:
+    """Aggregate counters of every live cache, keyed by cache name.
+
+    Caches sharing a name (e.g. one ``tate.pair`` cache per backend
+    instance) are summed into one row.
+    """
+    out: dict[str, dict[str, int]] = {}
+    live: list[weakref.ref] = []
+    for ref in _REGISTRY:
+        cache = ref()
+        if cache is None:
+            continue
+        live.append(ref)
+        row = out.setdefault(
+            cache.name,
+            {"hits": 0, "misses": 0, "builds": 0, "evictions": 0,
+             "bypasses": 0, "tables": 0},
+        )
+        for field_name, value in cache.stats.as_dict().items():
+            row[field_name] += value
+        row["tables"] += len(cache)
+    _REGISTRY[:] = live
+    return out
+
+
+def reset() -> None:
+    """Clear every live cache and zero all counters (test isolation)."""
+    live: list[weakref.ref] = []
+    for ref in _REGISTRY:
+        cache = ref()
+        if cache is None:
+            continue
+        live.append(ref)
+        cache.clear()
+    _REGISTRY[:] = live

@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro._util import rand_range
+from repro.crypto import fastexp
 from repro.crypto.cunningham import CunninghamChain, find_chain, known_chain
 from repro.crypto.hashing import hash_to_int
 from repro.crypto.ntheory import is_probable_prime, random_safe_prime
@@ -64,6 +65,30 @@ class SchnorrGroup:
     def power(self, exponent: int) -> int:
         """``g ** exponent`` for the canonical generator."""
         return self.exp(self.g, exponent)
+
+    def exp_fixed(self, base: int, exponent: int) -> int:
+        """:meth:`exp` through the fixed-base comb cache.
+
+        Bit-identical to :meth:`exp`; markedly faster once *base* has
+        been promoted (market generators, long-lived public keys).  Use
+        it for bases that recur across calls, plain :meth:`exp` for
+        per-proof values.
+        """
+        return fastexp.exp_fixed(base, self.p, exponent, order=self.q)
+
+    def power_fixed(self, exponent: int) -> int:
+        """:meth:`power` through the fixed-base comb cache."""
+        return fastexp.exp_fixed(self.g, self.p, exponent, order=self.q)
+
+    def multi_exp(self, bases, exponents) -> int:
+        """``Π bases[i]^exponents[i]`` via one shared Straus chain."""
+        reduced = [e % self.q for e in exponents]
+        return fastexp.multi_exp(bases, reduced, self.p)
+
+    def warm_fixed(self, *bases: int) -> None:
+        """Eagerly build comb tables for known-hot *bases*."""
+        for base in bases:
+            fastexp.warm_fixed_base(base, self.p, order=self.q)
 
     def mul(self, a: int, b: int) -> int:
         return (a * b) % self.p

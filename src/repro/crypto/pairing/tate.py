@@ -20,10 +20,17 @@ tests for the bilinearity/non-degeneracy checks.
 
 from __future__ import annotations
 
+from repro.crypto import fastexp
 from repro.crypto.pairing.curve import CurveParams, Point
 from repro.crypto.pairing.field import Fp2
 
-__all__ = ["miller_loop", "multi_operate", "tate_pairing", "TatePairing"]
+__all__ = [
+    "miller_loop",
+    "multi_operate",
+    "tate_pairing",
+    "MillerTable",
+    "TatePairing",
+]
 
 
 def _line_eval(t: Point, u: Point, s: Point) -> Fp2:
@@ -114,6 +121,94 @@ def multi_operate(identity, op, elements, scalars, *, window: int = 4):
     return acc
 
 
+def _line_desc(t: Point, u: Point):
+    """The line through *t* and *u* as an evaluable descriptor.
+
+    Mirrors the branch structure of :func:`_line_eval` exactly:
+    ``("v", x0)`` is the vertical ``x = x0`` (evaluating to
+    ``s.x - x0``), ``("l", lam, tx, ty)`` the chord/tangent through
+    ``(tx, ty)`` with slope ``lam`` (evaluating to
+    ``s.y - ty - lam*(s.x - tx)``).  Field arithmetic is exact, so
+    evaluating a descriptor reproduces :func:`_line_eval` bit for bit.
+    """
+    p = t.p
+    if t.is_infinity or u.is_infinity:
+        v = u if t.is_infinity else t
+        return ("v", v.x)
+    if t.x == u.x:
+        if t.y == -u.y:
+            return ("v", t.x)
+        num = (t.x * t.x).scalar_mul(3) + Fp2.one(p)
+        lam = num / t.y.scalar_mul(2)
+    else:
+        lam = (u.y - t.y) / (u.x - t.x)
+    return ("l", lam, t.x, t.y)
+
+
+class MillerTable:
+    """Precomputed Miller loop for a *fixed* first pairing argument.
+
+    The double-and-add walk of ``f_{r,P}`` depends only on ``P`` and
+    ``r``: every chord/tangent slope and every vertical can be computed
+    once and stored as line descriptors.  :meth:`pair` then evaluates
+    ``ê(P, Q)`` for any ``Q`` with two field multiplies per stored line
+    and a *single* inversion at the end (numerator and denominator are
+    accumulated separately), instead of re-deriving each line — with
+    its own inversion — per pairing.  Results are bit-identical to
+    :func:`tate_pairing`; the build costs about one pairing.
+    """
+
+    __slots__ = ("params", "point", "_steps", "_final_exp")
+
+    def __init__(self, params: CurveParams, P: Point) -> None:
+        if P.is_infinity:
+            raise ValueError("cannot precompute the Miller loop at infinity")
+        self.params = params
+        self.point = P
+        r = params.r
+        steps: list[tuple[bool, tuple, tuple]] = []
+        T = P
+        for bit in bin(r)[3:]:
+            two_t = T + T
+            steps.append((True, _line_desc(T, T), _line_desc(two_t, -two_t)))
+            T = two_t
+            if bit == "1":
+                t_plus_p = T + P
+                steps.append((False, _line_desc(T, P), _line_desc(t_plus_p, -t_plus_p)))
+                T = t_plus_p
+        self._steps = steps
+        self._final_exp = (params.p + 1) // r
+
+    @property
+    def n_steps(self) -> int:
+        return len(self._steps)
+
+    @staticmethod
+    def _eval(desc: tuple, s: Point) -> Fp2:
+        if desc[0] == "v":
+            return s.x - desc[1]
+        _, lam, tx, ty = desc
+        return s.y - ty - lam * (s.x - tx)
+
+    def pair(self, Q: Point) -> Fp2:
+        """``ê(point, Q)`` — bit-identical to :func:`tate_pairing`."""
+        p = self.params.p
+        if Q.is_infinity:
+            return Fp2.one(p)
+        s = Q.distort()
+        fn = Fp2.one(p)
+        fd = Fp2.one(p)
+        for is_double, num_desc, den_desc in self._steps:
+            if is_double:
+                fn = fn * fn
+                fd = fd * fd
+            fn = fn * self._eval(num_desc, s)
+            fd = fd * self._eval(den_desc, s)
+        f = fn / fd
+        f = f.conjugate() / f
+        return f.pow(self._final_exp)
+
+
 def tate_pairing(params: CurveParams, P: Point, Q: Point) -> Fp2:
     """The reduced modified Tate pairing ``ê(P, Q)``.
 
@@ -146,10 +241,68 @@ class TatePairing:
         self.order = params.r
         self.g = params.generator
         self._gt_gen: Fp2 | None = None
+        self._init_caches()
+
+    def _init_caches(self) -> None:
+        """Per-backend table caches (lazy payloads, tiny when unused)."""
+        self._pair_tables = fastexp.PromotionCache(
+            "tate.pair",
+            lambda point: MillerTable(self.params, point),
+            max_entries=8,
+            promote_after=2,
+        )
+        self._point_tables = fastexp.PromotionCache(
+            "tate.exp",
+            lambda point: fastexp.GenericFixedBaseTable(
+                self.identity(),
+                lambda a, b: a + b,
+                point,
+                self.order.bit_length(),
+                teeth=6,
+                splits=2,
+            ),
+            max_entries=8,
+            promote_after=3,
+        )
+
+    # table caches hold closures and are rebuilt cheaply — keep them out
+    # of pickles (DECParams ships this backend to worker processes)
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_pair_tables", None)
+        state.pop("_point_tables", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._init_caches()
 
     # -- source group -------------------------------------------------------
     def exp(self, base: Point, scalar: int) -> Point:
         return base.multiply(scalar % self.order)
+
+    def exp_fixed(self, base: Point, scalar: int) -> Point:
+        """:meth:`exp` through a per-base comb table (same result).
+
+        Curve additions are Python-level (one inversion each), so the
+        comb's op-count reduction pays at any curve size — no modulus
+        gate here, only the promotion threshold.
+        """
+        s = scalar % self.order
+        if not fastexp.enabled() or base.is_infinity:
+            return base.multiply(s)
+        table = self._point_tables.get(base.encode(), base)
+        if table is None:
+            return base.multiply(s)
+        return table.exp(s)
+
+    def warm_exp_fixed(self, *bases: Point) -> None:
+        """Eagerly build comb tables for known-hot *bases*."""
+        if not fastexp.enabled():
+            return
+        for base in bases:
+            if not base.is_infinity:
+                self._point_tables.force(base.encode(), base)
 
     def mul(self, a: Point, b: Point) -> Point:
         return a + b
@@ -178,7 +331,35 @@ class TatePairing:
 
     # -- pairing / target group ----------------------------------------------
     def pair(self, a: Point, b: Point) -> Fp2:
+        """``ê(a, b)``, served from a Miller table once either argument
+        promotes.
+
+        The fixed slots of spend verification — the generator ``g`` and
+        the bank key components ``X``, ``Y`` — each appear in every
+        deposit, so their tables build once and every later pairing
+        skips the per-step line derivations.  The pairing is symmetric
+        in this distorted construction (``ê(a,b) = ê(b,a)``, see the
+        backend tests), so a table for *either* argument suffices.
+        """
+        if not fastexp.enabled():
+            return tate_pairing(self.params, a, b)
+        if a.is_infinity or b.is_infinity:
+            return Fp2.one(self.params.p)
+        table = self._pair_tables.get(a.encode(), a)
+        if table is not None:
+            return table.pair(b)
+        table = self._pair_tables.get(b.encode(), b)
+        if table is not None:
+            return table.pair(a)
         return tate_pairing(self.params, a, b)
+
+    def warm_pair(self, *points: Point) -> None:
+        """Eagerly build Miller tables for known-fixed pairing arguments."""
+        if not fastexp.enabled():
+            return
+        for point in points:
+            if not point.is_infinity:
+                self._pair_tables.force(point.encode(), point)
 
     def gt_mul(self, a: Fp2, b: Fp2) -> Fp2:
         return a * b

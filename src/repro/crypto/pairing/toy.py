@@ -50,6 +50,10 @@ class ToyPairing:
     def exp(self, base: int, scalar: int) -> int:
         return (base * scalar) % self.order
 
+    def exp_fixed(self, base: int, scalar: int) -> int:
+        # source-group exps are a single multiply; nothing to precompute
+        return (base * scalar) % self.order
+
     def mul(self, a: int, b: int) -> int:
         return (a + b) % self.order
 
@@ -71,9 +75,19 @@ class ToyPairing:
     def element_encode(self, a: int) -> tuple:
         return (a,)
 
+    def warm_exp_fixed(self, *bases: int) -> None:
+        # API parity with the Tate backend; no tables to build here
+        return None
+
     # -- pairing / target group ----------------------------------------------
     def pair(self, a: int, b: int) -> int:
-        return self.target.power((a * b) % self.order)
+        # g_T is fixed for the backend's lifetime — the comb cache turns
+        # every pairing into table lookups once the modulus clears the gate
+        return self.target.power_fixed((a * b) % self.order)
+
+    def warm_pair(self, *points: int) -> None:
+        """Warm the target-group generator table (the only fixed base)."""
+        self.target.warm_fixed(self.target.g)
 
     def gt_mul(self, a: int, b: int) -> int:
         return self.target.mul(a, b)
@@ -88,10 +102,7 @@ class ToyPairing:
         return 1
 
     def gt_multi_exp(self, bases, scalars) -> int:
-        acc = 1
-        for base, scalar in zip(bases, scalars):
-            acc = self.target.mul(acc, self.target.exp(base, scalar))
-        return acc
+        return self.target.multi_exp(bases, scalars)
 
     def gt_generator(self) -> int:
         return self.target.power(1)

@@ -126,6 +126,8 @@ def prove_edge(
     if child_grp.mul(child_grp.exp(g2, child), child_grp.exp(h2, r_child)) != c_child % child_grp.p:
         raise ValueError("child commitment does not open")
 
+    # g, h, γ, g2, h2 are tower-fixed and hit `rounds` times per proof —
+    # the comb cache amortizes across rounds and across spends
     nonces = []
     us = []
     ts = []
@@ -134,9 +136,12 @@ def prove_edge(
         v = rng.randrange(parent_grp.q)
         sigma = rng.randrange(child_grp.q)
         nonces.append((w, v, sigma))
-        us.append(parent_grp.mul(parent_grp.exp(g, w), parent_grp.exp(h, v)))
+        us.append(parent_grp.mul(parent_grp.exp_fixed(g, w), parent_grp.exp_fixed(h, v)))
         ts.append(
-            child_grp.mul(child_grp.exp(g2, parent_grp.exp(gamma, w)), child_grp.exp(h2, sigma))
+            child_grp.mul(
+                child_grp.exp_fixed(g2, parent_grp.exp_fixed(gamma, w)),
+                child_grp.exp_fixed(h2, sigma),
+            )
         )
 
     transcript.absorb_ints(g, h, c_parent, gamma, g2, h2, c_child, *us, *ts)
@@ -184,22 +189,23 @@ def verify_edge(
     )
     bits = transcript.challenge(1 << n)
 
+    # per-round equations over the tower-fixed bases g, h, γ, g2, h2
     for j in range(n):
         u, t = proof.commitments_u[j], proof.commitments_t[j]
         a, b, c = proof.responses[j]
         if (bits >> j) & 1:
             delta, eta, eps = a, b, c
-            gamma_delta = parent_grp.exp(gamma, delta)
-            if parent_grp.mul(c_parent, parent_grp.mul(parent_grp.exp(g, delta), parent_grp.exp(h, eta))) != u:
+            gamma_delta = parent_grp.exp_fixed(gamma, delta)
+            if parent_grp.mul(c_parent, parent_grp.mul(parent_grp.exp_fixed(g, delta), parent_grp.exp_fixed(h, eta))) != u:
                 return False
-            if child_grp.mul(child_grp.exp(c_child, gamma_delta), child_grp.exp(h2, eps)) != t:
+            if child_grp.mul(child_grp.exp(c_child, gamma_delta), child_grp.exp_fixed(h2, eps)) != t:
                 return False
         else:
             w, v, sigma = a, b, c
-            if parent_grp.mul(parent_grp.exp(g, w), parent_grp.exp(h, v)) != u:
+            if parent_grp.mul(parent_grp.exp_fixed(g, w), parent_grp.exp_fixed(h, v)) != u:
                 return False
             expected = child_grp.mul(
-                child_grp.exp(g2, parent_grp.exp(gamma, w)), child_grp.exp(h2, sigma)
+                child_grp.exp_fixed(g2, parent_grp.exp_fixed(gamma, w)), child_grp.exp_fixed(h2, sigma)
             )
             if expected != t:
                 return False
@@ -255,12 +261,12 @@ def verify_revealed_edge(
         g, h, c_parent, gamma, child_public, proof.commitment_k, proof.commitment_c
     )
     e = transcript.challenge(parent_grp.q)
-    # γ^z1 == commitment_k * child^e
-    if parent_grp.exp(gamma, proof.z1) != parent_grp.mul(
+    # γ^z1 == commitment_k * child^e   (γ, g, h tower-fixed → comb cache)
+    if parent_grp.exp_fixed(gamma, proof.z1) != parent_grp.mul(
         proof.commitment_k, parent_grp.exp(child_public, e)
     ):
         return False
     # g^z1 h^z2 == commitment_c * C^e
-    lhs = parent_grp.mul(parent_grp.exp(g, proof.z1), parent_grp.exp(h, proof.z2))
+    lhs = parent_grp.mul(parent_grp.exp_fixed(g, proof.z1), parent_grp.exp_fixed(h, proof.z2))
     rhs = parent_grp.mul(proof.commitment_c, parent_grp.exp(c_parent, e))
     return lhs == rhs

@@ -142,8 +142,9 @@ def verify_equality_deferred(
     transcript.absorb_ints(*proof.commitment_b)
     e = transcript.challenge(1 << _CHALLENGE_BITS)
 
-    # group A: g^z h^{z_t} == R_A * D^e
-    lhs_a = group_a.mul(group_a.exp(g, proof.z), group_a.exp(h, proof.z_t))
+    # group A: g^z h^{z_t} == R_A * D^e  (g, h are market-fixed bases;
+    # reducing the integer response mod q is sound inside the subgroup)
+    lhs_a = group_a.mul(group_a.exp_fixed(g, proof.z), group_a.exp_fixed(h, proof.z_t))
     rhs_a = group_a.mul(proof.commitment_a, group_a.exp(commitment, e))
     if lhs_a != rhs_a:
         return None

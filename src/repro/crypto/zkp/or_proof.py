@@ -114,8 +114,10 @@ def verify_or(
     total = transcript.challenge(group.q)
     if sum(proof.challenges) % group.q != total:
         return False
+    # the shared base is fixed across branches (and across proofs over
+    # this group) — comb cache; statements are per-proof
     for y, r_commit, e, s in zip(statements, proof.commitments, proof.challenges, proof.responses):
-        lhs = group.exp(base, s)
+        lhs = group.exp_fixed(base, s)
         rhs = group.mul(r_commit, group.exp(y, e))
         if lhs != rhs:
             return False

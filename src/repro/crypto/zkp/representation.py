@@ -79,8 +79,10 @@ def verify_representation(
         return False
     transcript.absorb_ints(*bases, statement, proof.commitment)
     e = transcript.challenge(group.q)
+    # bases are market-fixed (tower generators) — comb-cached exps;
+    # the statement is per-proof, so plain exp
     lhs = 1
     for base, s in zip(bases, proof.responses):
-        lhs = group.mul(lhs, group.exp(base, s))
+        lhs = group.mul(lhs, group.exp_fixed(base, s))
     rhs = group.mul(proof.commitment, group.exp(statement, e))
     return lhs == rhs

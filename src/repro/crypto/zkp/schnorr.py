@@ -87,7 +87,9 @@ def verify_dlog(
         return False
     transcript.absorb_ints(base, statement, commitment)
     e = transcript.challenge(group.q)
-    lhs = group.exp(base, proof.response)
+    # the base recurs across every proof over this group — comb cache;
+    # the statement is proof-specific, so plain exp
+    lhs = group.exp_fixed(base, proof.response)
     rhs = group.mul(commitment, group.exp(statement, e))
     return lhs == rhs
 
@@ -128,6 +130,7 @@ def verify_dlog_generic(
     """Verify a generic-backend Schnorr proof."""
     _absorb_element(transcript, backend, proof.commitment)
     e = transcript.challenge(backend.order)
-    lhs = backend.exp(base, proof.response)
+    exp_fixed = getattr(backend, "exp_fixed", backend.exp)
+    lhs = exp_fixed(base, proof.response)
     rhs = backend.mul(proof.commitment, backend.exp(statement, e))
     return backend.element_encode(lhs) == backend.element_encode(rhs)

@@ -42,6 +42,7 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
+from repro.crypto import fastexp
 from repro.crypto.cl_sig import CLPublicKey
 from repro.ecash.spend import (
     DECParams,
@@ -62,10 +63,10 @@ def _multi_exp(backend, bases, scalars):
     fused = getattr(backend, "multi_exp", None)
     if fused is not None:
         return fused(bases, scalars)
-    acc = backend.identity()
-    for base, scalar in zip(bases, scalars):
-        acc = backend.mul(acc, backend.exp(base, scalar))
-    return acc
+    order = backend.order
+    return fastexp.multi_exp_generic(
+        backend.identity(), backend.mul, bases, [s % order for s in scalars]
+    )
 
 
 def _gt_multi_exp(backend, bases, scalars):
@@ -73,10 +74,10 @@ def _gt_multi_exp(backend, bases, scalars):
     fused = getattr(backend, "gt_multi_exp", None)
     if fused is not None:
         return fused(bases, scalars)
-    acc = backend.gt_one()
-    for base, scalar in zip(bases, scalars):
-        acc = backend.gt_mul(acc, backend.gt_exp(base, scalar))
-    return acc
+    order = backend.order
+    return fastexp.multi_exp_generic(
+        backend.gt_one(), backend.gt_mul, bases, [s % order for s in scalars]
+    )
 
 
 def batched_pairing_check(

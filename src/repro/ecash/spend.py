@@ -61,6 +61,7 @@ __all__ = [
     "create_spend",
     "verify_spend",
     "verify_spend_deferred",
+    "warm_verification_tables",
 ]
 
 
@@ -181,10 +182,11 @@ def create_spend(
     sig_c = backend.exp(signature.c, rho)
 
     # 2. Pedersen commitments: C_s in storey 0, C_t for hidden keys κ_t
+    #    (commit bases are tower-fixed → comb-cached exponentiations)
     grp0 = params.tower.group(0)
     g0, h0 = params.commit_bases(0)
     r_s = grp0.random_exponent(rng)
-    commitment_s = grp0.mul(grp0.exp(g0, secret), grp0.exp(h0, r_s))
+    commitment_s = grp0.mul(grp0.exp_fixed(g0, secret), grp0.exp_fixed(h0, r_s))
 
     key_commitments: list[int] = []
     key_randomizers: list[int] = []
@@ -193,7 +195,7 @@ def create_spend(
         g, h = params.commit_bases(t + 1)
         r = grp.random_exponent(rng)
         key_randomizers.append(r)
-        key_commitments.append(grp.mul(grp.exp(g, keys[t]), grp.exp(h, r)))
+        key_commitments.append(grp.mul(grp.exp_fixed(g, keys[t]), grp.exp_fixed(h, r)))
 
     transcript = _base_transcript(params, bank_pk, node, node_key_value, sig_a, sig_b, sig_c,
                                   commitment_s, key_commitments, context)
@@ -432,6 +434,36 @@ def verify_spend_deferred(
         challenge=challenge,
         response=token.equality.z,
     )
+
+
+def warm_verification_tables(params: DECParams, bank_pk: CLPublicKey | None = None) -> None:
+    """Pre-build every fixed-base table the spend/verify hot path hits.
+
+    Covers the pairing slots of :func:`verify_spend_deferred` and
+    :func:`~repro.crypto.cl_sig.cl_verify` (``g``, and with *bank_pk*
+    also ``X`` and ``Y`` — together one side of every pairing the
+    deposit path computes), plus the tower commit/edge generators the
+    sigma-protocol verifiers exponentiate.  Idempotent and cheap
+    relative to one deposit; a long-lived verifier (the bank service)
+    calls this once at startup so steady-state flushes never pay
+    table-build cost.  No-op while fast-exp is globally disabled.
+    """
+    backend = params.backend
+    warm_pair = getattr(backend, "warm_pair", None)
+    if warm_pair is not None:
+        fixed_points = [backend.g]
+        if bank_pk is not None:
+            fixed_points += [bank_pk.X, bank_pk.Y]
+        warm_pair(*fixed_points)
+    warm_exp = getattr(backend, "warm_exp_fixed", None)
+    if warm_exp is not None:
+        warm_exp(backend.g)
+    tower = params.tower
+    for storey in range(params.tree_level + 1):
+        grp = tower.group(storey)
+        g, h = params.commit_bases(storey)
+        gens = tower.extra_generators[storey]
+        grp.warm_fixed(grp.g, g, h, gens[GEN_LEFT], gens[GEN_RIGHT])
 
 
 # ---------------------------------------------------------------------------

@@ -170,10 +170,11 @@ def derive_key_chain(tower: GroupTower, secret: int, node: NodeId) -> list[int]:
     grp0 = tower.group(0)
     if not 0 < secret < grp0.q:
         raise ValueError("coin secret out of the storey-0 exponent range")
-    keys = [grp0.exp(_edge_generator(tower, 0, 0), secret)]
+    # edge generators are tower-fixed → comb-cached exponentiations
+    keys = [grp0.exp_fixed(_edge_generator(tower, 0, 0), secret)]
     for t, bit in enumerate(node.path_bits(), start=1):
         grp = tower.group(t)
-        keys.append(grp.exp(_edge_generator(tower, t, bit), keys[-1]))
+        keys.append(grp.exp_fixed(_edge_generator(tower, t, bit), keys[-1]))
     return keys
 
 
@@ -198,7 +199,7 @@ def leaf_serials(tower: GroupTower, node: NodeId, key: int, tree_level: int) -> 
     for level in range(node.level + 1, tree_level + 1):
         grp = tower.group(level)
         frontier = [
-            (n.child(bit), grp.exp(_edge_generator(tower, level, bit), k))
+            (n.child(bit), grp.exp_fixed(_edge_generator(tower, level, bit), k))
             for (n, k) in frontier
             for bit in (0, 1)
         ]

@@ -18,7 +18,9 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-__all__ = ["OpCounter", "OPS", "format_table"]
+from repro.crypto import fastexp
+
+__all__ = ["OpCounter", "OPS", "format_table", "fastexp_stats", "format_fastexp_stats"]
 
 OPS = ("ZKP", "Enc", "Dec", "H")
 
@@ -62,6 +64,39 @@ class OpCounter:
         """Compact Table-I-style cell, e.g. ``"9ZKP+4Enc+1Dec+1H"``."""
         parts = [f"{self.get(party, op)}{op}" for op in OPS if self.get(party, op)]
         return "+".join(parts) if parts else "0"
+
+
+def fastexp_stats() -> dict[str, dict[str, int]]:
+    """Aggregated fixed-base table-cache counters, keyed by cache name.
+
+    A thin re-export of :func:`repro.crypto.fastexp.stats` so perf
+    dashboards and benchmarks pull every counter — op tallies *and*
+    cache hit rates — from one metrics module.  Rows are e.g.
+    ``fastexp.int`` (Schnorr-group comb tables), ``tate.pair``
+    (precomputed Miller loops) and ``tate.exp`` (curve-point combs),
+    each with ``hits``/``misses``/``builds``/``evictions``/
+    ``bypasses``/``tables``.
+    """
+    return fastexp.stats()
+
+
+def format_fastexp_stats(stats: dict[str, dict[str, int]] | None = None) -> str:
+    """Render the cache counters as an ASCII table (current when None)."""
+    if stats is None:
+        stats = fastexp_stats()
+    cols = ("hits", "misses", "builds", "evictions", "bypasses", "tables")
+    header = f"{'cache':<14}" + "".join(f"{c:>11}" for c in cols) + f"{'hit_rate':>10}"
+    lines = [header, "-" * len(header)]
+    for name in sorted(stats):
+        row = stats[name]
+        looked = row["hits"] + row["misses"]
+        rate = row["hits"] / looked if looked else 0.0
+        lines.append(
+            f"{name:<14}"
+            + "".join(f"{row[c]:>11}" for c in cols)
+            + f"{rate:>10.2%}"
+        )
+    return "\n".join(lines)
 
 
 def format_table(counter: OpCounter, parties: list[str], title: str = "") -> str:

@@ -37,7 +37,21 @@ class SweepPoint:
 
 
 def default_processes() -> int:
-    """A sensible worker count: physical-ish cores, at least 1."""
+    """A sensible worker count: physical-ish cores, at least 1.
+
+    A ``REPRO_PROCESSES`` environment variable overrides the heuristic —
+    the 1-core bench VM and CI use it to force serial (or deliberately
+    oversubscribed) runs without code edits.  Non-positive or
+    non-numeric values are ignored.
+    """
+    override = os.environ.get("REPRO_PROCESSES", "").strip()
+    if override:
+        try:
+            n = int(override)
+        except ValueError:
+            n = 0
+        if n >= 1:
+            return n
     return max(1, (os.cpu_count() or 2) - 1)
 
 

@@ -34,7 +34,12 @@ from typing import Sequence
 from repro.crypto.cl_sig import CLKeyPair, CLPublicKey, CLSignature, cl_blind_issue
 from repro.ecash.batch import batch_verify_spends
 from repro.ecash.dec import BlindIssuanceRequest
-from repro.ecash.spend import DECParams, SpendToken, verify_spend
+from repro.ecash.spend import (
+    DECParams,
+    SpendToken,
+    verify_spend,
+    warm_verification_tables,
+)
 from repro.ecash.tree import leaf_serials
 from repro.metrics.parallel import SweepPoint, sweep
 
@@ -136,6 +141,7 @@ class VerificationBatcher:
         processes: int = 1,
         pairing_batch: bool = True,
         seed: int = 0,
+        warm_tables: bool = True,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -143,6 +149,11 @@ class VerificationBatcher:
             raise ValueError("processes must be positive")
         self.params = params
         self.keypair = keypair
+        if warm_tables:
+            # build the fixed-base/Miller tables for the bank key and the
+            # tower generators up front: steady-state flushes (at least
+            # the in-process ones) then never pay table-build cost
+            warm_verification_tables(params, keypair.public)
         self.max_batch = max_batch
         self.processes = processes
         self.pairing_batch = pairing_batch

@@ -1,0 +1,360 @@
+"""Fixed-base comb tables and simultaneous multi-exponentiation.
+
+Parity suites pin every fast path against the naive loop it replaces
+(``pow`` / per-element square-and-multiply / :func:`tate_pairing`),
+including the edge cases the batch verifiers rely on: empty inputs,
+zero scalars, scalars far above the group order, single elements, and
+mismatched lengths (which must raise).
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.crypto import fastexp
+from repro.crypto.pairing import TatePairing, generate_curve
+from repro.crypto.pairing.curve import Point
+from repro.crypto.pairing.tate import MillerTable, multi_operate, tate_pairing
+
+# RFC 2409 Oakley Group 2: a well-known 1024-bit safe prime (generating
+# one takes minutes on the bench VM; hardcoding keeps tests fast)
+P1024 = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+    16,
+)
+Q1024 = (P1024 - 1) // 2
+G1024 = 4  # 2^2 — a quadratic residue, hence of order Q1024
+
+
+@pytest.fixture(autouse=True)
+def _isolated_fastexp():
+    """Each test starts with empty caches and default configuration."""
+    previous = fastexp.configure()
+    fastexp.reset()
+    yield
+    fastexp.configure(**previous)
+    fastexp.reset()
+
+
+# ---------------------------------------------------------------------------
+# FixedBaseTable
+# ---------------------------------------------------------------------------
+
+class TestFixedBaseTable:
+    @pytest.mark.parametrize("teeth,splits", [(8, 4), (6, 4), (10, 2), (1, 1), (3, 5)])
+    def test_parity_with_pow(self, teeth, splits):
+        rng = random.Random(0xFA57)
+        table = fastexp.FixedBaseTable(G1024, P1024, bits=160, teeth=teeth, splits=splits)
+        for _ in range(16):
+            e = rng.getrandbits(160)
+            assert table.exp(e) == pow(G1024, e, P1024)
+
+    def test_boundary_exponents(self):
+        table = fastexp.FixedBaseTable(G1024, P1024, bits=160)
+        for e in (0, 1, 2, (1 << 160) - 1):
+            assert table.exp(e) == pow(G1024, e, P1024)
+
+    def test_exponent_above_bits_falls_back_exactly(self):
+        table = fastexp.FixedBaseTable(G1024, P1024, bits=64)
+        e = 1 << 100  # outside the precomputed range
+        assert table.exp(e) == pow(G1024, e, P1024)
+
+    def test_order_reduction(self):
+        rng = random.Random(1)
+        table = fastexp.FixedBaseTable(G1024, P1024, order=Q1024)
+        e = rng.getrandbits(2048)  # scalar far above the group order
+        assert table.exp(e) == pow(G1024, e % Q1024, P1024)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            fastexp.FixedBaseTable(G1024, P1024)  # no bits, no order
+        with pytest.raises(ValueError):
+            fastexp.FixedBaseTable(G1024, P1024, bits=0)
+        with pytest.raises(ValueError):
+            fastexp.FixedBaseTable(G1024, P1024, bits=64, teeth=0)
+        with pytest.raises(ValueError):
+            fastexp.FixedBaseTable(G1024, 2, bits=64)
+
+    def test_table_size_accounting(self):
+        table = fastexp.FixedBaseTable(G1024, P1024, bits=160, teeth=8, splits=4)
+        assert table.table_size == 4 * 256
+
+
+class TestGenericFixedBaseTable:
+    def test_point_parity(self, session_rng):
+        params = generate_curve(32, session_rng)
+        backend = TatePairing(params)
+        base = backend.random_element(session_rng)
+        table = fastexp.GenericFixedBaseTable(
+            backend.identity(), lambda a, b: a + b, base,
+            backend.order.bit_length(), teeth=4, splits=2,
+        )
+        for _ in range(8):
+            s = session_rng.randrange(backend.order)
+            assert table.exp(s) == base.multiply(s)
+
+    def test_rejects_out_of_range(self):
+        table = fastexp.GenericFixedBaseTable(1, lambda a, b: a * b % P1024, G1024, bits=16)
+        with pytest.raises(ValueError):
+            table.exp(1 << 20)
+        with pytest.raises(ValueError):
+            table.exp(-1)
+
+
+# ---------------------------------------------------------------------------
+# multi_exp — parity and edge cases
+# ---------------------------------------------------------------------------
+
+def _naive_product(bases, exps, p):
+    acc = 1
+    for b, e in zip(bases, exps):
+        acc = acc * pow(b, e, p) % p
+    return acc
+
+
+class TestMultiExp:
+    def test_parity_with_naive_loop(self):
+        rng = random.Random(0x5A5A)
+        bases = [pow(G1024, rng.getrandbits(64), P1024) for _ in range(6)]
+        exps = [rng.getrandbits(160) for _ in range(6)]
+        assert fastexp.multi_exp(bases, exps, P1024) == _naive_product(bases, exps, P1024)
+
+    def test_empty_input(self):
+        assert fastexp.multi_exp([], [], P1024) == 1
+
+    def test_all_zero_scalars(self):
+        assert fastexp.multi_exp([G1024, 7], [0, 0], P1024) == 1
+
+    def test_some_zero_scalars_skipped(self):
+        rng = random.Random(2)
+        bases = [G1024, 7, 11]
+        exps = [rng.getrandbits(80), 0, rng.getrandbits(80)]
+        assert fastexp.multi_exp(bases, exps, P1024) == _naive_product(bases, exps, P1024)
+
+    def test_single_element(self):
+        e = random.Random(3).getrandbits(160)
+        assert fastexp.multi_exp([G1024], [e], P1024) == pow(G1024, e, P1024)
+
+    def test_scalar_far_above_group_order(self):
+        # multi_exp works over the integers: no implicit reduction
+        e = Q1024 * 5 + 12345
+        assert fastexp.multi_exp([G1024], [e], P1024) == pow(G1024, e, P1024)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            fastexp.multi_exp([G1024, 7], [1], P1024)
+        with pytest.raises(ValueError):
+            fastexp.multi_exp([G1024], [1, 2], P1024)
+
+    def test_negative_scalar_raises(self):
+        with pytest.raises(ValueError):
+            fastexp.multi_exp([G1024], [-1], P1024)
+
+    def test_window_sizes(self):
+        rng = random.Random(4)
+        bases = [pow(G1024, rng.getrandbits(32), P1024) for _ in range(4)]
+        exps = [rng.getrandbits(96) for _ in range(4)]
+        want = _naive_product(bases, exps, P1024)
+        for window in (1, 2, 4, 6):
+            assert fastexp.multi_exp(bases, exps, P1024, window=window) == want
+
+
+class TestMultiExpGeneric:
+    def test_matches_pairing_multi_operate(self, session_rng):
+        """The generic Straus here and the one in tate.py must agree."""
+        params = generate_curve(32, session_rng)
+        backend = TatePairing(params)
+        points = [backend.random_element(session_rng) for _ in range(5)]
+        scalars = [session_rng.randrange(backend.order) for _ in range(5)]
+        via_fastexp = fastexp.multi_exp_generic(
+            backend.identity(), lambda a, b: a + b, points, scalars
+        )
+        via_tate = multi_operate(backend.identity(), lambda a, b: a + b, points, scalars)
+        naive = backend.identity()
+        for pt, s in zip(points, scalars):
+            naive = naive + pt.multiply(s)
+        assert via_fastexp == via_tate == naive
+
+    def test_gt_multi_exp_parity(self, tate_backend, session_rng):
+        gt = [tate_backend.gt_generator().pow(session_rng.randrange(1, tate_backend.order))
+              for _ in range(4)]
+        scalars = [session_rng.randrange(tate_backend.order) for _ in range(4)]
+        naive = tate_backend.gt_one()
+        for el, s in zip(gt, scalars):
+            naive = naive * el.pow(s)
+        assert tate_backend.gt_multi_exp(gt, scalars) == naive
+        assert fastexp.multi_exp_generic(
+            tate_backend.gt_one(), lambda a, b: a * b, gt, scalars
+        ) == naive
+
+    def test_edge_cases(self):
+        op = lambda a, b: a + b
+        assert fastexp.multi_exp_generic(0, op, [], []) == 0
+        assert fastexp.multi_exp_generic(0, op, [5, 9], [0, 0]) == 0
+        with pytest.raises(ValueError):
+            fastexp.multi_exp_generic(0, op, [5], [1, 2])
+        with pytest.raises(ValueError):
+            fastexp.multi_exp_generic(0, op, [5], [-3])
+
+
+# ---------------------------------------------------------------------------
+# the promotion cache and the module-level exp_fixed
+# ---------------------------------------------------------------------------
+
+class TestPromotionCache:
+    def test_promotes_after_threshold(self):
+        built = []
+        cache = fastexp.PromotionCache(
+            "t.promote", lambda k: built.append(k) or k, promote_after=3
+        )
+        for _ in range(3):
+            assert cache.get("a", "a") is None  # below threshold
+        assert cache.get("a", "a") == "a"  # 4th use builds
+        assert built == ["a"]
+        assert cache.get("a", "a") == "a"  # now a hit
+        assert cache.stats.misses == 3 and cache.stats.builds == 1 and cache.stats.hits == 1
+
+    def test_force_builds_immediately(self):
+        cache = fastexp.PromotionCache("t.force", lambda k: k * 2, promote_after=10)
+        assert cache.force("x", "x") == "xx"
+        assert cache.get("x", "x") == "xx"
+        assert cache.stats.builds == 1 and cache.stats.hits == 1
+
+    def test_lru_eviction_bound(self):
+        cache = fastexp.PromotionCache("t.lru", lambda k: k, max_entries=2, promote_after=0)
+        for key in ("a", "b", "c"):
+            cache.force(key, key)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        # "a" was evicted; "b" and "c" survive
+        assert cache.get("b", "b") == "b"
+        assert cache.get("c", "c") == "c"
+
+    def test_clear_resets_everything(self):
+        cache = fastexp.PromotionCache("t.clear", lambda k: k, promote_after=0)
+        cache.force("a", "a")
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.builds == 0
+
+
+class TestExpFixed:
+    def test_small_modulus_bypasses(self, schnorr_group):
+        # 64-bit group < min_modulus_bits: always the plain pow path
+        grp = schnorr_group
+        e = 123456789
+        assert grp.exp_fixed(grp.g, e) == grp.exp(grp.g, e)
+        stats = fastexp.stats()["fastexp.int"]
+        assert stats["bypasses"] >= 1 and stats["builds"] == 0
+
+    def test_large_modulus_promotes_and_hits(self):
+        fastexp.configure(promote_after=2)
+        for i in range(6):
+            got = fastexp.exp_fixed(G1024, P1024, 1000 + i, order=Q1024)
+            assert got == pow(G1024, 1000 + i, P1024)
+        stats = fastexp.stats()["fastexp.int"]
+        assert stats["builds"] == 1
+        assert stats["hits"] == 3  # uses 4..6 served from the table
+        assert stats["tables"] == 1
+
+    def test_disabled_bypasses(self):
+        fastexp.configure(enabled=False)
+        assert not fastexp.enabled()
+        got = fastexp.exp_fixed(G1024, P1024, 777, order=Q1024)
+        assert got == pow(G1024, 777, P1024)
+        assert fastexp.stats()["fastexp.int"]["builds"] == 0
+
+    def test_warm_builds_eagerly(self):
+        assert fastexp.warm_fixed_base(G1024, P1024, order=Q1024)
+        stats = fastexp.stats()["fastexp.int"]
+        assert stats["builds"] == 1
+        assert fastexp.exp_fixed(G1024, P1024, 424242, order=Q1024) == pow(
+            G1024, 424242, P1024
+        )
+        assert fastexp.stats()["fastexp.int"]["hits"] == 1
+
+    def test_warm_is_gated_too(self, schnorr_group):
+        assert not fastexp.warm_fixed_base(schnorr_group.g, schnorr_group.p,
+                                           order=schnorr_group.q)
+
+    def test_env_override_disables(self, monkeypatch):
+        # the env knob is read at import; emulate by reloading config
+        monkeypatch.setenv("REPRO_FASTEXP", "0")
+        import importlib
+
+        import repro.crypto.fastexp as fe_mod
+        state = fe_mod.configure()
+        try:
+            importlib.reload(fe_mod)
+            assert not fe_mod.enabled()
+        finally:
+            importlib.reload(fe_mod)
+            monkeypatch.delenv("REPRO_FASTEXP")
+            importlib.reload(fe_mod)
+            fe_mod.configure(**{k: v for k, v in state.items()})
+
+
+# ---------------------------------------------------------------------------
+# Miller tables
+# ---------------------------------------------------------------------------
+
+class TestMillerTable:
+    @pytest.fixture(scope="class")
+    def curve_backend(self):
+        rng = random.Random(0x417)
+        params = generate_curve(40, rng)
+        return params, TatePairing(params), rng
+
+    def test_pair_parity_over_random_points(self, curve_backend):
+        params, backend, rng = curve_backend
+        for _ in range(3):
+            P = backend.random_element(rng)
+            table = MillerTable(params, P)
+            for _ in range(4):
+                Q = backend.random_element(rng)
+                assert table.pair(Q) == tate_pairing(params, P, Q)
+
+    def test_pair_infinity(self, curve_backend):
+        params, backend, rng = curve_backend
+        table = MillerTable(params, backend.g)
+        assert table.pair(backend.identity()) == backend.gt_one()
+
+    def test_rejects_infinity_base(self, curve_backend):
+        params, backend, _ = curve_backend
+        with pytest.raises(ValueError):
+            MillerTable(params, backend.identity())
+
+    def test_backend_pair_uses_table_after_promotion(self, curve_backend):
+        params, _, rng = curve_backend
+        backend = TatePairing(params)  # fresh caches
+        P = backend.random_element(rng)
+        Q = backend.random_element(rng)
+        ref = tate_pairing(params, P, Q)
+        for _ in range(5):
+            assert backend.pair(P, Q) == ref
+        stats = backend._pair_tables.stats
+        assert stats.builds >= 1 and stats.hits >= 1
+
+    def test_symmetry_slot_swap(self, curve_backend):
+        """A table for the *second* argument serves via ê(a,b) = ê(b,a)."""
+        params, _, rng = curve_backend
+        backend = TatePairing(params)
+        P = backend.random_element(rng)
+        Q = backend.random_element(rng)
+        backend.warm_pair(Q)  # only the second slot is warmed
+        assert backend.pair(P, Q) == tate_pairing(params, P, Q)
+        assert backend._pair_tables.stats.hits >= 1
+
+    def test_pickle_drops_and_rebuilds_caches(self, curve_backend):
+        params, _, rng = curve_backend
+        backend = TatePairing(params)
+        backend.warm_pair(backend.g)
+        clone = pickle.loads(pickle.dumps(backend))
+        assert len(clone._pair_tables) == 0  # caches not shipped
+        P = backend.random_element(rng)
+        assert clone.pair(backend.g, P) == backend.pair(backend.g, P)

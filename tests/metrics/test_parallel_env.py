@@ -1,0 +1,32 @@
+"""The REPRO_PROCESSES environment override for worker counts."""
+
+from __future__ import annotations
+
+import os
+
+from repro.metrics.parallel import default_processes
+
+
+def test_env_override_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_PROCESSES", "3")
+    assert default_processes() == 3
+    monkeypatch.setenv("REPRO_PROCESSES", "1")
+    assert default_processes() == 1
+
+
+def test_env_override_allows_oversubscription(monkeypatch):
+    cores = os.cpu_count() or 2
+    monkeypatch.setenv("REPRO_PROCESSES", str(cores * 4))
+    assert default_processes() == cores * 4
+
+
+def test_invalid_values_fall_back_to_heuristic(monkeypatch):
+    expected = max(1, (os.cpu_count() or 2) - 1)
+    for bad in ("0", "-2", "lots", "", "  "):
+        monkeypatch.setenv("REPRO_PROCESSES", bad)
+        assert default_processes() == expected
+
+
+def test_unset_uses_heuristic(monkeypatch):
+    monkeypatch.delenv("REPRO_PROCESSES", raising=False)
+    assert default_processes() == max(1, (os.cpu_count() or 2) - 1)
