@@ -14,6 +14,13 @@ See ``docs/service.md`` for the architecture and the knobs.
 """
 
 from repro.service.admission import AdmissionController, AdmissionDecision, TokenBucket
+from repro.service.journal import (
+    Checkpoint,
+    FileJournal,
+    Journal,
+    JournalError,
+    JournalRecord,
+)
 from repro.service.batcher import (
     DepositJob,
     DepositOutcome,
@@ -29,6 +36,11 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "TokenBucket",
+    "Journal",
+    "FileJournal",
+    "JournalRecord",
+    "JournalError",
+    "Checkpoint",
     "VerificationBatcher",
     "DepositJob",
     "WithdrawJob",

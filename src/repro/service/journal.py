@@ -1,0 +1,268 @@
+"""Write-ahead journal for the market-administrator service.
+
+The bank's books live in memory; a crash mid-batch would otherwise
+lose every deposit applied since the last snapshot and — worse — lose
+the *deposited-serial store*, reopening every double-spend.  The
+journal closes that hole with the classic discipline:
+
+* **append before apply** — every state mutation (account opening,
+  withdrawal debit, deposit commit) is recorded in the journal *before*
+  the books change.  The record carries everything needed to redo the
+  mutation (and to synthesize the client's reply), so after a crash the
+  journal plus the last checkpoint reconstruct exactly the committed
+  state: a mutation is either journaled (and will be re-applied) or it
+  never happened.  Nothing is ever half-applied.
+* **idempotent replay keyed on request ids** — records carry the
+  originating request id (``rid``); replay skips a rid it has already
+  applied, so duplicated records (client retries, overlapping recovery
+  passes) can never double-apply a deposit.
+* **fsync-free in-memory mode** — :class:`Journal` keeps records in a
+  list, which under the fault harness plays the role of the disk that
+  survives the simulated crash (the service and bank objects are
+  discarded; the journal object is handed to recovery).
+  :class:`FileJournal` is the durable variant: length-prefixed,
+  digest-framed records appended to a real file, with torn-tail
+  detection on load.
+
+Record kinds (see :mod:`repro.service.server` for who writes what)::
+
+    accept  {sender, kind, payload}        service accepted a request
+    apply   op-specific redo payload       bank is about to mutate
+    reply   {status, body}                 terminal answer for a rid
+
+A :class:`Checkpoint` pairs per-shard snapshot blobs with the journal
+position they reflect; recovery restores the blobs and replays only
+records after that position.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.crypto.hashing import sha256
+from repro.net.codec import decode, encode
+
+__all__ = [
+    "JournalError",
+    "JournalRecord",
+    "Journal",
+    "FileJournal",
+    "Checkpoint",
+]
+
+_CKPT_MAGIC = b"repro-service-checkpoint-v1"
+_FILE_MAGIC = b"repro-journal-v1\n"
+_FRAME_DIGEST_BYTES = 8
+
+#: Record kinds the service/bank layers write.
+RECORD_KINDS = ("accept", "apply", "reply")
+
+
+class JournalError(Exception):
+    """Journal rejected an operation or a persisted journal is corrupt."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One journaled event.
+
+    ``lsn`` is the log sequence number (dense, starting at 0); ``rid``
+    is the request id the record belongs to (empty for out-of-band
+    mutations such as load-generation minting); ``op`` names the
+    operation (request kind or bank mutation); ``payload`` is a
+    codec-encodable value carrying everything replay needs.
+    """
+
+    lsn: int
+    kind: str
+    rid: str
+    op: str
+    payload: Any
+
+    def to_state(self) -> dict:
+        return {
+            "lsn": self.lsn,
+            "kind": self.kind,
+            "rid": self.rid,
+            "op": self.op,
+            "payload": self.payload,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "JournalRecord":
+        return cls(
+            lsn=state["lsn"],
+            kind=state["kind"],
+            rid=state["rid"],
+            op=state["op"],
+            payload=state["payload"],
+        )
+
+
+class Journal:
+    """In-memory, fsync-free write-ahead journal (the test/fault mode).
+
+    Payloads are normalized through the canonical codec on append —
+    appending is exactly as strict as sending the value over the wire,
+    and the journal can never share mutable state with the live books
+    (a record read back at recovery is a fresh decoded copy).
+    """
+
+    def __init__(self) -> None:
+        self._records: list[JournalRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest record, or ``-1`` when empty."""
+        return len(self._records) - 1
+
+    def append(self, kind: str, rid: str, op: str, payload: Any) -> JournalRecord:
+        """Durably record one event; returns the record (with its LSN)."""
+        if kind not in RECORD_KINDS:
+            raise JournalError(f"unknown journal record kind {kind!r}")
+        try:
+            normalized = decode(encode(payload))
+        except (TypeError, ValueError) as exc:
+            raise JournalError(f"unjournalable payload for {op!r}: {exc}") from exc
+        record = JournalRecord(
+            lsn=len(self._records), kind=kind, rid=rid, op=op, payload=normalized
+        )
+        self._records.append(record)
+        self._persist(record)
+        return record
+
+    def _persist(self, record: JournalRecord) -> None:
+        """Hook for durable subclasses; in-memory mode does nothing."""
+
+    def records(self, *, after: int = -1) -> Iterator[JournalRecord]:
+        """Records with ``lsn > after``, in LSN order."""
+        start = after + 1
+        if start < 0:
+            start = 0
+        return iter(self._records[start:])
+
+
+class FileJournal(Journal):
+    """Journal persisted to an append-only file.
+
+    Frame format after a one-line magic header: 4-byte big-endian body
+    length, the first 8 bytes of ``sha256(body)``, then the
+    codec-encoded record.  :meth:`load` (run by the constructor when
+    the file exists) stops at the first torn frame — a crash mid-append
+    costs at most the record being written, never the records before
+    it — and raises :class:`JournalError` on corruption *before* the
+    tail, which no crash can produce.
+    """
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        super().__init__()
+        self.path = os.fspath(path)
+        self.torn_tail = False
+        if os.path.exists(self.path):
+            self._load()
+            self._fh = open(self.path, "ab")
+        else:
+            self._fh = open(self.path, "wb")
+            self._fh.write(_FILE_MAGIC)
+            self._fh.flush()
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def _persist(self, record: JournalRecord) -> None:
+        body = encode(record.to_state())
+        frame = (
+            len(body).to_bytes(4, "big")
+            + sha256(body)[:_FRAME_DIGEST_BYTES]
+            + body
+        )
+        self._fh.write(frame)
+        self._fh.flush()
+
+    def _load(self) -> None:
+        with open(self.path, "rb") as fh:
+            data = fh.read()
+        if not data.startswith(_FILE_MAGIC):
+            raise JournalError(f"{self.path}: not a journal file (bad magic)")
+        pos = len(_FILE_MAGIC)
+        end = len(data)
+        while pos < end:
+            if pos + 4 + _FRAME_DIGEST_BYTES > end:
+                self.torn_tail = True
+                break
+            size = int.from_bytes(data[pos : pos + 4], "big")
+            digest = data[pos + 4 : pos + 4 + _FRAME_DIGEST_BYTES]
+            body_start = pos + 4 + _FRAME_DIGEST_BYTES
+            body = data[body_start : body_start + size]
+            if len(body) < size:
+                self.torn_tail = True
+                break
+            if sha256(body)[:_FRAME_DIGEST_BYTES] != digest:
+                if body_start + size == end:
+                    # torn write inside the final frame's body
+                    self.torn_tail = True
+                    break
+                raise JournalError(
+                    f"{self.path}: corrupt frame at byte {pos} (digest mismatch)"
+                )
+            try:
+                record = JournalRecord.from_state(decode(body))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise JournalError(
+                    f"{self.path}: undecodable frame at byte {pos}: {exc}"
+                ) from exc
+            if record.lsn != len(self._records):
+                raise JournalError(
+                    f"{self.path}: LSN gap at byte {pos} "
+                    f"(got {record.lsn}, expected {len(self._records)})"
+                )
+            self._records.append(record)
+            pos = body_start + size
+        if self.torn_tail:
+            # drop the torn bytes so new appends start on a clean frame
+            with open(self.path, "rb+") as fh:
+                fh.truncate(self._tail_offset())
+
+    def _tail_offset(self) -> int:
+        offset = len(_FILE_MAGIC)
+        for record in self._records:
+            body = encode(record.to_state())
+            offset += 4 + _FRAME_DIGEST_BYTES + len(body)
+        return offset
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """Shard snapshot blobs plus the journal position they reflect.
+
+    Every journal record with ``lsn <= lsn`` is already folded into the
+    blobs; recovery replays only what comes after.  The bank-state
+    *replay* cut is ``lsn``; request-lifecycle scans (reply cache,
+    in-flight redo) always read the whole journal.
+    """
+
+    lsn: int
+    blobs: tuple[bytes, ...]
+
+    def to_bytes(self) -> bytes:
+        body = encode({"lsn": self.lsn, "blobs": list(self.blobs)})
+        return _CKPT_MAGIC + sha256(_CKPT_MAGIC, body) + body
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Checkpoint":
+        if not blob.startswith(_CKPT_MAGIC):
+            raise JournalError("not a service checkpoint (bad magic)")
+        digest = blob[len(_CKPT_MAGIC) : len(_CKPT_MAGIC) + 32]
+        body = blob[len(_CKPT_MAGIC) + 32 :]
+        if sha256(_CKPT_MAGIC, body) != digest:
+            raise JournalError("checkpoint integrity digest mismatch")
+        try:
+            state = decode(body)
+        except ValueError as exc:
+            raise JournalError(f"checkpoint body undecodable: {exc}") from exc
+        return cls(lsn=state["lsn"], blobs=tuple(state["blobs"]))

@@ -58,6 +58,7 @@ from repro.service.batcher import (
     WithdrawJob,
     WithdrawOutcome,
 )
+from repro.service.journal import Checkpoint, Journal, JournalRecord
 from repro.service.shard import ShardedBank
 
 __all__ = ["MarketService", "Completion", "RequestFailure", "SERVICE"]
@@ -66,6 +67,8 @@ SERVICE = "MA-service"
 
 _CRYPTO_KINDS = ("deposit", "withdraw")
 _CHEAP_KINDS = ("open-account", "balance", "audit")
+#: kinds that mutate bank state — exactly these are journaled
+_MUTATING_KINDS = ("open-account", "deposit", "withdraw")
 
 
 @dataclass(frozen=True)
@@ -96,6 +99,7 @@ class _Pending:
     kind: str
     payload: Any
     submitted_at: float
+    rid: str = ""
     outcome: DepositOutcome | WithdrawOutcome | None = field(default=None)
 
     @property
@@ -116,6 +120,7 @@ class MarketService:
         rng: random.Random | None = None,
         name: str = SERVICE,
         clock: Callable[[], float] = time.perf_counter,
+        journal: Journal | None = None,
     ) -> None:
         self.bank = bank
         self.name = name
@@ -131,13 +136,21 @@ class MarketService:
         self.admission = admission if admission is not None else AdmissionController()
         self.rng = rng if rng is not None else random.Random(0)
         self._clock = clock
+        # one journal serves both layers: the bank writes ``apply``
+        # records, the service writes ``accept``/``reply`` records
+        if journal is not None and bank.journal is None:
+            bank.journal = journal
+        self.journal = bank.journal
         self._next_seq = 0
         self._queues: dict[str, deque[_Pending]] = {}
         self._sender_order: list[str] = []
         self._in_flight: dict[int, _Pending] = {}
+        self._replies: dict[str, tuple[str, dict]] = {}  # rid -> cached reply
+        self._accepted: set[str] = set()  # rids accepted but not yet replied
         self.failures: list[RequestFailure] = []
         self.completions = 0
         self.shed = 0
+        self.dedup_hits = 0
         self._observers: list[Callable[[Completion], None]] = []
 
     # -- instrumentation ---------------------------------------------------
@@ -153,18 +166,48 @@ class MarketService:
         """Accepted-but-unapplied requests (the backpressure signal)."""
         return sum(len(q) for q in self._queues.values())
 
+    def reply_for(self, rid: str) -> tuple[str, dict] | None:
+        """The cached ``(status, body)`` verdict of a completed request.
+
+        ``None`` while the request is still in flight (or was never
+        seen).  The cache survives crashes — it is rebuilt from the
+        journal's ``reply`` records on :meth:`recover` — so this is the
+        harness's window into per-request outcomes across incarnations.
+        """
+        return self._replies.get(rid)
+
     # -- accept ------------------------------------------------------------
-    def submit(self, sender: str, kind: str, payload: Any, *, now: float = 0.0) -> int:
+    def submit(self, sender: str, kind: str, payload: Any, *, now: float = 0.0,
+               rid: str | None = None) -> int:
         """Accept one request envelope; returns its sequence number.
 
         The payload crosses the transport codec exactly as under the
         router, so byte accounting covers requests, and smuggled state
         fails loudly.  Admission runs only for crypto kinds — cheap
         queries never starve behind a full bucket.
+
+        *rid* is the client's stable request id, the key of the
+        exactly-once layer over at-least-once delivery: a duplicate of
+        a completed request gets its cached reply re-sent (no
+        re-execution, no double apply), a duplicate of an in-flight
+        request is dropped (the original will answer).  Omitted, a
+        unique id is derived — plain submissions keep one-shot
+        semantics.
         """
         seq = self._next_seq
         self._next_seq += 1
         delivered = self.transport.send(sender, self.name, kind, payload)
+        if rid is None:
+            rid = f"{sender}:auto:{seq}"
+        if rid in self._replies:
+            self.dedup_hits += 1
+            status, body = self._replies[rid]
+            self.transport.send(self.name, sender, "reply",
+                                {"req": seq, "status": status, **body})
+            return seq
+        if rid in self._accepted:
+            self.dedup_hits += 1
+            return seq
         if kind in _CRYPTO_KINDS:
             decision = self.admission.admit(now, self.queue_depth)
             if not decision.admitted:
@@ -172,8 +215,18 @@ class MarketService:
                 self._reply(sender, seq, kind, "BUSY", {"reason": decision.reason},
                             submitted_at=None)
                 return seq
+        if kind in _MUTATING_KINDS:
+            # write-ahead: the accepted request survives a crash, so an
+            # in-flight deposit is re-verified after recovery, not lost
+            if self.journal is not None:
+                self.journal.append(
+                    "accept", rid, kind,
+                    {"sender": sender, "kind": kind, "seq": seq,
+                     "payload": delivered},
+                )
+            self._accepted.add(rid)
         pending = _Pending(seq=seq, sender=sender, kind=kind, payload=delivered,
-                           submitted_at=self._clock())
+                           submitted_at=self._clock(), rid=rid)
         if sender not in self._queues:
             self._queues[sender] = deque()
             self._sender_order.append(sender)
@@ -273,7 +326,7 @@ class MarketService:
             self._fail(pending, "REJECTED", str(exc), body=body)
             return
         self._reply(pending.sender, pending.seq, pending.kind, status, body,
-                    submitted_at=pending.submitted_at)
+                    submitted_at=pending.submitted_at, rid=pending.rid)
 
     def _execute(self, pending: _Pending) -> tuple[str, dict]:
         kind, payload = pending.kind, pending.payload
@@ -281,7 +334,8 @@ class MarketService:
             self._require(payload, "aid", "balance")
             if self.bank.has_account(payload["aid"]):
                 raise ProtocolError(f"account {payload['aid']!r} already exists")
-            self.bank.open_account(payload["aid"], payload["balance"])
+            self.bank.open_account(payload["aid"], payload["balance"],
+                                   rid=pending.rid)
             return "OK", {"balance": payload["balance"]}
         if kind == "balance":
             self._require(payload, "aid")
@@ -296,7 +350,10 @@ class MarketService:
             assert isinstance(outcome, WithdrawOutcome)
             # balance re-checked at apply time: an earlier withdrawal in
             # the same batch may have drained the account since accept
-            self.bank.apply_withdrawal(payload["aid"])
+            self.bank.apply_withdrawal(
+                payload["aid"], rid=pending.rid,
+                extra={"signature": outcome.signature},
+            )
             return "OK", {"signature": outcome.signature}
         if kind == "deposit":
             outcome = pending.outcome
@@ -304,7 +361,8 @@ class MarketService:
             if not outcome.valid:
                 raise ProtocolError("invalid spend token")
             amount = self.bank.apply_deposit(
-                payload["aid"], payload["token"], outcome.serials
+                payload["aid"], payload["token"], outcome.serials,
+                rid=pending.rid,
             )
             return "OK", {"amount": amount}
         raise ProtocolError(f"unknown request kind {kind!r}")
@@ -326,13 +384,127 @@ class MarketService:
         )
         self._reply(pending.sender, pending.seq, pending.kind, status,
                     body if body is not None else {"error": error},
-                    submitted_at=pending.submitted_at)
+                    submitted_at=pending.submitted_at, rid=pending.rid)
 
     def _reply(self, sender: str, seq: int, kind: str, status: str, body: dict,
-               *, submitted_at: float | None) -> None:
+               *, submitted_at: float | None, rid: str = "") -> None:
         latency = 0.0 if submitted_at is None else self._clock() - submitted_at
+        if rid and kind in _MUTATING_KINDS and status != "BUSY":
+            # journal before sending: a crash during the send leaves
+            # the verdict recoverable, so the client's retry gets the
+            # same answer instead of a re-execution
+            if self.journal is not None:
+                self.journal.append("reply", rid, kind,
+                                    {"status": status, "body": body})
+            self._replies[rid] = (status, body)
+            self._accepted.discard(rid)
         self.transport.send(self.name, sender, "reply",
                             {"req": seq, "status": status, **body})
         self.completions += 1
         self._notify(Completion(sender=sender, seq=seq, kind=kind,
                                 status=status, latency=latency))
+
+    # -- crash recovery ----------------------------------------------------
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot the sharded books at the current journal position."""
+        return self.bank.checkpoint()
+
+    @classmethod
+    def recover(
+        cls,
+        params,
+        keypair,
+        journal: Journal,
+        *,
+        checkpoint: Checkpoint | None = None,
+        n_shards: int = 4,
+        rng: random.Random | None = None,
+        transport: Transport | None = None,
+        batcher: VerificationBatcher | None = None,
+        admission: AdmissionController | None = None,
+        name: str = SERVICE,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> "MarketService":
+        """Restart the service from a checkpoint plus the journal.
+
+        Three passes over the request lifecycle records:
+
+        1. the bank replays ``apply`` records after the checkpoint
+           (:meth:`ShardedBank.recover`) — committed state is rebuilt
+           with zero lost and zero double-applied mutations;
+        2. ``reply`` records (and ``apply`` records whose reply was
+           lost in the crash, for which an ``OK`` answer is
+           synthesized from the redo payload) repopulate the reply
+           cache, so client retries of completed requests get their
+           original verdicts;
+        3. ``accept`` records with neither apply nor reply — requests
+           that were in flight mid-batch when the service died — are
+           re-enqueued for verification: accepted deposits are never
+           lost, merely re-verified.
+        """
+        bank = ShardedBank.recover(
+            params, keypair, rng if rng is not None else random.Random(0),
+            journal, checkpoint=checkpoint, n_shards=n_shards,
+        )
+        service = cls(bank, transport=transport, batcher=batcher,
+                      admission=admission, rng=rng, name=name, clock=clock)
+        accepts: dict[str, JournalRecord] = {}
+        applies: dict[str, JournalRecord] = {}
+        replies: dict[str, JournalRecord] = {}
+        max_seq = -1
+        for record in journal.records():
+            if record.kind == "accept":
+                accepts.setdefault(record.rid, record)
+                max_seq = max(max_seq, record.payload.get("seq", -1))
+            elif record.kind == "apply" and record.rid:
+                applies.setdefault(record.rid, record)
+            elif record.kind == "reply":
+                replies.setdefault(record.rid, record)
+        # auto-generated rids embed the sequence number; never reuse one
+        service._next_seq = max_seq + 1
+        for rid, record in replies.items():
+            service._replies[rid] = (record.payload["status"],
+                                     record.payload["body"])
+        for rid, record in applies.items():
+            if rid not in service._replies:
+                service._replies[rid] = cls._synthesize_reply(record)
+        service.redone = 0
+        for rid, record in accepts.items():
+            if rid in service._replies or rid in applies:
+                continue
+            service._resubmit(record)
+            service.redone += 1
+        return service
+
+    @staticmethod
+    def _synthesize_reply(record: JournalRecord) -> tuple[str, dict]:
+        """The ``OK`` answer an applied-but-unanswered request deserves."""
+        payload = record.payload
+        if record.op == "deposit":
+            return "OK", {"amount": payload["amount"]}
+        if record.op == "withdraw":
+            return "OK", {"signature": payload["signature"]}
+        if record.op == "open-account":
+            return "OK", {"balance": payload["balance"]}
+        raise ValueError(f"cannot synthesize a reply for op {record.op!r}")
+
+    def _resubmit(self, record: JournalRecord) -> None:
+        """Re-enqueue an accepted-but-unanswered request after recovery."""
+        payload = record.payload
+        sender, kind = payload["sender"], payload["kind"]
+        seq = self._next_seq
+        self._next_seq += 1
+        pending = _Pending(seq=seq, sender=sender, kind=kind,
+                           payload=payload["payload"],
+                           submitted_at=self._clock(), rid=record.rid)
+        self._accepted.add(record.rid)
+        if sender not in self._queues:
+            self._queues[sender] = deque()
+            self._sender_order.append(sender)
+        self._queues[sender].append(pending)
+        if kind in _CRYPTO_KINDS:
+            try:
+                self._enqueue_crypto(pending)
+            except ProtocolError as exc:
+                self._queues[sender].remove(pending)
+                self._fail(pending, "ERROR", str(exc))

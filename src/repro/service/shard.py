@@ -41,6 +41,7 @@ from repro.crypto.hashing import sha256
 from repro.ecash.dec import DECBank, DoubleSpendError, DoubleSpendEvidence
 from repro.ecash.spend import DECParams, SpendToken
 from repro.ecash.tree import leaf_serials
+from repro.service.journal import Checkpoint, Journal, JournalError, JournalRecord
 
 __all__ = ["ShardedBank", "account_shard", "serial_shard"]
 
@@ -77,6 +78,7 @@ class ShardedBank:
         rng: random.Random,
         *,
         n_shards: int = 4,
+        journal: Journal | None = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("need at least one shard")
@@ -87,14 +89,29 @@ class ShardedBank:
             DECBank(params=params, keypair=keypair, rng=rng) for _ in range(n_shards)
         ]
         self.deposit_seq = 0
+        #: write-ahead journal; every mutation appends its redo record
+        #: here *before* the books change (None = journaling off)
+        self.journal = journal
 
     @classmethod
     def create(
-        cls, params: DECParams, rng: random.Random, *, n_shards: int = 4
+        cls,
+        params: DECParams,
+        rng: random.Random,
+        *,
+        n_shards: int = 4,
+        journal: Journal | None = None,
     ) -> "ShardedBank":
         from repro.crypto.cl_sig import cl_keygen
 
-        return cls(params, cl_keygen(params.backend, rng), rng, n_shards=n_shards)
+        return cls(
+            params, cl_keygen(params.backend, rng), rng,
+            n_shards=n_shards, journal=journal,
+        )
+
+    def _journal_apply(self, rid: str, op: str, payload: dict) -> None:
+        if self.journal is not None:
+            self.journal.append("apply", rid, op, payload)
 
     @property
     def public_key(self) -> CLPublicKey:
@@ -108,8 +125,12 @@ class ShardedBank:
         return self.shards[serial_shard(serial, self.n_shards)]
 
     # -- accounts ----------------------------------------------------------
-    def open_account(self, aid: str, initial_balance: int = 0) -> None:
-        self.account_home(aid).open_account(aid, initial_balance)
+    def open_account(self, aid: str, initial_balance: int = 0, *, rid: str = "") -> None:
+        home = self.account_home(aid)
+        if aid in home.accounts:
+            raise ValueError(f"account {aid!r} already exists")
+        self._journal_apply(rid, "open-account", {"aid": aid, "balance": initial_balance})
+        home.open_account(aid, initial_balance)
 
     def has_account(self, aid: str) -> bool:
         return aid in self.account_home(aid).accounts
@@ -118,18 +139,25 @@ class ShardedBank:
         return self.account_home(aid).balance(aid)
 
     # -- withdraw ----------------------------------------------------------
-    def apply_withdrawal(self, aid: str) -> None:
+    def apply_withdrawal(self, aid: str, *, rid: str = "", extra: dict | None = None) -> None:
         """Debit one coin of value ``2^L`` and record the withdrawal.
 
         The blind issuance itself (the crypto) happens in the batcher;
         this is the serial bookkeeping step.  Raises :class:`ValueError`
         when the account is unknown or underfunded — nothing is then
         recorded, and the caller must discard the issued signature.
+
+        *extra* rides along in the journal record (the service passes
+        the issued signature, so recovery can re-send the lost reply).
         """
         home = self.account_home(aid)
         value = 1 << self.params.tree_level
         if home.accounts.get(aid, 0) < value:
             raise ValueError(f"account {aid!r} cannot cover a coin of value {value}")
+        payload = {"aid": aid, "value": value}
+        if extra:
+            payload.update(extra)
+        self._journal_apply(rid, "withdraw", payload)
         home.accounts[aid] -= value
         home.withdrawals.append(aid)
 
@@ -151,13 +179,15 @@ class ShardedBank:
         return None
 
     def apply_deposit(
-        self, aid: str, token: SpendToken, serials: Sequence[int]
+        self, aid: str, token: SpendToken, serials: Sequence[int], *, rid: str = ""
     ) -> int:
         """Record a *verified* deposit; returns the credited amount.
 
         Re-checks for conflicts under the same lock-free-serial regime
         as :meth:`DECBank.deposit`: on :class:`DoubleSpendError` nothing
-        is credited and no serials are recorded on any shard.
+        is credited, no serials are recorded on any shard, and nothing
+        is journaled — the journal only ever holds mutations that the
+        double-spend check has admitted.
         """
         home = self.account_home(aid)
         if aid not in home.accounts:
@@ -172,13 +202,29 @@ class ShardedBank:
                     offending_node=(aid, token.node.level, token.node.index),
                 ),
             )
-        record = (aid, token.node.level, token.node.index, self.deposit_seq)
+        amount = token.denomination(self.params.tree_level)
+        self._journal_apply(
+            rid,
+            "deposit",
+            {
+                "aid": aid,
+                "level": token.node.level,
+                "index": token.node.index,
+                "serials": list(serials),
+                "amount": amount,
+            },
+        )
+        self._commit_deposit(aid, token.node.level, token.node.index, serials, amount)
+        return amount
+
+    def _commit_deposit(
+        self, aid: str, level: int, index: int, serials: Sequence[int], amount: int
+    ) -> None:
+        record = (aid, level, index, self.deposit_seq)
         self.deposit_seq += 1
         for serial in serials:
             self.serial_home(serial)._seen_serials[serial] = record
-        amount = token.denomination(self.params.tree_level)
-        home.accounts[aid] += amount
-        return amount
+        self.account_home(aid).accounts[aid] += amount
 
     # -- persistence (composed from core.ledger) ---------------------------
     def snapshot(self) -> list[bytes]:
@@ -210,6 +256,104 @@ class ShardedBank:
             except SnapshotError as exc:
                 raise SnapshotError(f"shard {index}: {exc}") from exc
         self.deposit_seq = max(shard.deposit_seq for shard in self.shards)
+
+    # -- crash recovery (checkpoint + journal replay) ----------------------
+    def checkpoint(self) -> Checkpoint:
+        """Snapshot every shard, stamped with the current journal position."""
+        lsn = self.journal.last_lsn if self.journal is not None else -1
+        return Checkpoint(lsn=lsn, blobs=tuple(self.snapshot()))
+
+    @classmethod
+    def recover(
+        cls,
+        params: DECParams,
+        keypair: CLKeyPair,
+        rng: random.Random,
+        journal: Journal,
+        *,
+        checkpoint: Checkpoint | None = None,
+        n_shards: int = 4,
+    ) -> "ShardedBank":
+        """Rebuild the bank from a checkpoint plus the journal's tail.
+
+        Restores the checkpoint blobs (when given), then replays every
+        ``apply`` record after the checkpoint's LSN, idempotently keyed
+        on request ids.  Journaling is detached during replay (replay
+        must not re-journal) and re-attached before returning, so the
+        recovered bank journals new mutations to the same log.  The
+        result is bit-equal to the pre-crash *committed* state: every
+        journaled mutation present, nothing half-applied.
+        """
+        bank = cls(params, keypair, rng, n_shards=n_shards, journal=None)
+        start = -1
+        if checkpoint is not None:
+            bank.restore(checkpoint.blobs)
+            start = checkpoint.lsn
+        applied: set[str] = set()
+        for record in journal.records():
+            if record.kind != "apply":
+                continue
+            if record.lsn <= start:
+                # folded into the checkpoint already; remember the rid so
+                # a duplicate record after the cut can never re-apply it
+                if record.rid:
+                    applied.add(record.rid)
+                continue
+            bank._replay_record(record, applied)
+        bank.journal = journal
+        return bank
+
+    def _replay_record(self, record: JournalRecord, applied: set[str]) -> None:
+        """Redo one journaled mutation (recovery path; no re-journaling)."""
+        if record.rid:
+            if record.rid in applied:
+                return
+            applied.add(record.rid)
+        payload = record.payload
+        if record.op == "open-account":
+            aid = payload["aid"]
+            home = self.account_home(aid)
+            if aid in home.accounts:
+                raise JournalError(
+                    f"journal replay (lsn {record.lsn}): account {aid!r} "
+                    "already exists"
+                )
+            home.open_account(aid, payload["balance"])
+        elif record.op == "withdraw":
+            aid = payload["aid"]
+            home = self.account_home(aid)
+            if home.accounts.get(aid, 0) < payload["value"]:
+                raise JournalError(
+                    f"journal replay (lsn {record.lsn}): account {aid!r} "
+                    f"cannot cover a withdrawal of {payload['value']}"
+                )
+            home.accounts[aid] -= payload["value"]
+            home.withdrawals.append(aid)
+        elif record.op == "deposit":
+            aid = payload["aid"]
+            node = (aid, payload["level"], payload["index"])
+            for serial in payload["serials"]:
+                prior = self.serial_home(serial)._seen_serials.get(serial)
+                if prior is not None:
+                    if prior[:3] == node:
+                        return  # same deposit already on the books: idempotent
+                    raise JournalError(
+                        f"journal replay (lsn {record.lsn}): serial {serial} "
+                        f"already deposited by {prior[:3]}"
+                    )
+            if aid not in self.account_home(aid).accounts:
+                raise JournalError(
+                    f"journal replay (lsn {record.lsn}): deposit for unknown "
+                    f"account {aid!r}"
+                )
+            self._commit_deposit(
+                aid, payload["level"], payload["index"],
+                payload["serials"], payload["amount"],
+            )
+        else:
+            raise JournalError(
+                f"journal replay (lsn {record.lsn}): unknown op {record.op!r}"
+            )
 
     def merged(self, rng: random.Random | None = None) -> DECBank:
         """The logical one-bank view: union of every shard's slice."""

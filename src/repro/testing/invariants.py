@@ -1,0 +1,110 @@
+"""Global invariants the MA bank must satisfy after every recovery.
+
+Three families of checks, composed into one findings-style report (the
+same shape as :func:`repro.core.ledger.audit_bank` — empty findings
+means clean):
+
+1. **Book audit** — the sharded bank's own cross-shard audit: no
+   negative balances, value conservation (deposited never exceeds
+   issued), serial-record consistency, placement invariants, and — the
+   double-deposit defense — no serial stored twice anywhere.
+2. **Ledger/journal agreement** — the write-ahead journal is replayed
+   from scratch into a shadow bank, and every book (balances, the
+   withdrawal ledger, the deposited-serial store, the deposit
+   sequence) must match the live bank exactly.  This is the strongest
+   statement the harness makes: the journal alone reconstructs the
+   books bit-for-bit, so *any* crash-recovery lands on the same state.
+3. **Request-lifecycle discipline** — scanned from the journal: a
+   request id may carry at most one ``apply`` record (a double-applied
+   deposit is exactly a rid with two), and every ``apply`` must be
+   preceded by its ``accept``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.service.journal import Journal
+from repro.service.shard import ShardedBank
+
+__all__ = ["InvariantReport", "check_recovery_invariants"]
+
+
+@dataclass(frozen=True)
+class InvariantReport:
+    """Outcome of an invariant sweep."""
+
+    findings: tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def _compare_books(live: ShardedBank, shadow: ShardedBank) -> list[str]:
+    findings: list[str] = []
+    for index, (a, b) in enumerate(zip(live.shards, shadow.shards)):
+        if a.accounts != b.accounts:
+            findings.append(
+                f"journal disagreement on shard {index} accounts: "
+                f"live {a.accounts} != replayed {b.accounts}"
+            )
+        if list(a.withdrawals) != list(b.withdrawals):
+            findings.append(
+                f"journal disagreement on shard {index} withdrawal ledger: "
+                f"live {a.withdrawals} != replayed {b.withdrawals}"
+            )
+        if a._seen_serials != b._seen_serials:
+            live_only = set(a._seen_serials) - set(b._seen_serials)
+            replay_only = set(b._seen_serials) - set(a._seen_serials)
+            findings.append(
+                f"journal disagreement on shard {index} serial store: "
+                f"{len(live_only)} serial(s) only live, "
+                f"{len(replay_only)} only replayed, plus any record mismatches"
+            )
+    if live.deposit_seq != shadow.deposit_seq:
+        findings.append(
+            f"journal disagreement on deposit sequence: live "
+            f"{live.deposit_seq} != replayed {shadow.deposit_seq}"
+        )
+    return findings
+
+
+def _check_lifecycle(journal: Journal) -> list[str]:
+    findings: list[str] = []
+    accepted: set[str] = set()
+    applied: dict[str, int] = {}
+    for record in journal.records():
+        if record.kind == "accept":
+            accepted.add(record.rid)
+        elif record.kind == "apply" and record.rid:
+            applied[record.rid] = applied.get(record.rid, 0) + 1
+            if record.rid not in accepted:
+                findings.append(
+                    f"rid {record.rid!r} applied (lsn {record.lsn}) without "
+                    "an accept record"
+                )
+    for rid, count in applied.items():
+        if count > 1:
+            findings.append(
+                f"rid {rid!r} has {count} apply records (double-applied)"
+            )
+    return findings
+
+
+def check_recovery_invariants(
+    bank: ShardedBank, journal: Journal
+) -> InvariantReport:
+    """Run every global invariant against *bank* and its *journal*."""
+    findings: list[str] = list(bank.audit().findings)
+    shadow = ShardedBank.recover(
+        bank.params,
+        bank.keypair,
+        random.Random(0),
+        journal,
+        n_shards=bank.n_shards,
+    )
+    findings.extend(_compare_books(bank, shadow))
+    findings.extend(_check_lifecycle(journal))
+    return InvariantReport(findings=tuple(findings))

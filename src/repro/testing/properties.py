@@ -1,0 +1,106 @@
+"""A tiny seed-driven property-test runner (no third-party dependency).
+
+Hypothesis is an optional dev dependency of this repo; the crypto
+substrate's core algebraic laws deserve property coverage that runs
+*everywhere*, including environments with nothing but pytest.  This
+runner is deliberately minimal: a property is a function of one
+``random.Random``, run over N deterministically derived cases.
+
+Seeding contract (shared with ``tests/conftest.py``):
+
+* the base seed comes from ``REPRO_TEST_SEED`` (any Python int literal,
+  e.g. ``57005`` or ``0xDEAD``), defaulting to a fixed constant — the
+  default run is byte-reproducible;
+* case *i* of property *p* uses ``Random(f"{p}:{base}:{i}")`` — cases
+  are independent of each other and of execution order;
+* a failure raises :class:`PropertyError` naming the property, the
+  base seed, and the failing case index, plus the exact environment
+  variable setting that replays it.  One pytest invocation reproduces
+  the failure.
+
+Usage::
+
+    @property_test(cases=128)
+    def test_modinv_roundtrip(rng):
+        ...
+
+The decorated function takes no pytest fixtures; it is a plain
+zero-argument test by the time pytest sees it.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Callable
+
+__all__ = ["PropertyError", "env_seed", "property_test", "DEFAULT_SEED"]
+
+#: Base seed when ``REPRO_TEST_SEED`` is unset — keep in sync with
+#: ``tests/conftest.py``.
+DEFAULT_SEED = 0xC0FFEE
+
+
+def env_seed(default: int = DEFAULT_SEED) -> int:
+    """The effective base seed: ``REPRO_TEST_SEED`` or *default*."""
+    raw = os.environ.get("REPRO_TEST_SEED")
+    if raw is None or raw.strip() == "":
+        return default
+    try:
+        return int(raw.strip(), 0)
+    except ValueError as exc:
+        raise ValueError(
+            f"REPRO_TEST_SEED must be an integer literal, got {raw!r}"
+        ) from exc
+
+
+class PropertyError(AssertionError):
+    """A property failed; carries everything needed to replay it."""
+
+    def __init__(self, name: str, base_seed: int, case: int, cases: int,
+                 cause: BaseException) -> None:
+        self.property_name = name
+        self.base_seed = base_seed
+        self.case = case
+        super().__init__(
+            f"property {name!r} failed at case {case + 1}/{cases} "
+            f"under base seed {base_seed:#x}: {cause}\n"
+            f"replay with: REPRO_TEST_SEED={base_seed:#x} "
+            f"python -m pytest -k {name} "
+            "(case derivation is deterministic in the seed)"
+        )
+
+
+def property_test(
+    *, cases: int = 64, seed: int | None = None, name: str | None = None
+) -> Callable[[Callable[[random.Random], None]], Callable[[], None]]:
+    """Decorate ``fn(rng)`` into a pytest-collectable property test.
+
+    Runs *cases* independent cases, each with its own deterministically
+    derived RNG.  *seed* pins the base seed (overriding the
+    environment) — use only for regression cases; normal properties
+    should float on ``REPRO_TEST_SEED``.
+    """
+    if cases < 1:
+        raise ValueError("a property needs at least one case")
+
+    def decorate(fn: Callable[[random.Random], None]) -> Callable[[], None]:
+        prop_name = name or fn.__name__
+
+        def run() -> None:
+            base = seed if seed is not None else env_seed()
+            for case in range(cases):
+                rng = random.Random(f"{prop_name}:{base}:{case}")
+                try:
+                    fn(rng)
+                except AssertionError as exc:
+                    raise PropertyError(prop_name, base, case, cases, exc) from exc
+
+        # deliberately NOT functools.wraps: pytest would follow the
+        # wrapped signature and mistake ``rng`` for a fixture
+        run.__name__ = fn.__name__
+        run.__doc__ = fn.__doc__
+        run.__module__ = fn.__module__
+        return run
+
+    return decorate

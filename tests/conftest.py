@@ -4,10 +4,18 @@ Expensive artefacts (group towers, pairing curves, RSA keys, DEC
 parameter sets) are session-scoped and deterministic; anything mutable
 (banks, wallets, sessions) is built per test from them.  All bit sizes
 are test-sized — the benches use the documented defaults.
+
+Every RNG fixture honours ``REPRO_TEST_SEED`` (int literal, hex ok).
+Unset, the historical defaults apply (``0xC0FFEE`` per-test,
+``0xDEC0DE`` for the session artefacts) so baseline runs are
+bit-for-bit what they always were; set, both streams derive from the
+override and every failure report prints the effective seed plus the
+exact command that replays it.
 """
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -28,17 +36,39 @@ from repro.crypto.groups import SchnorrGroup, build_tower
 from repro.crypto.pairing import TatePairing, ToyPairing, generate_curve
 from repro.ecash.dec import DECBank
 from repro.ecash.spend import DECParams
+from repro.testing.properties import env_seed
+
+#: Effective base seed; ``REPRO_TEST_SEED`` overrides, default 0xC0FFEE.
+BASE_SEED = env_seed()
+_OVERRIDDEN = bool(os.environ.get("REPRO_TEST_SEED", "").strip())
+#: Session artefacts keep their historical seed unless overridden.
+SESSION_SEED: object = f"session:{BASE_SEED:#x}" if _OVERRIDDEN else 0xDEC0DE
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Stamp every failure with the seed and a one-line replay command."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.failed and call.when == "call":
+        report.sections.append((
+            "repro seed",
+            f"effective REPRO_TEST_SEED={BASE_SEED:#x}"
+            f" (session seed {SESSION_SEED!r})\n"
+            f"replay: REPRO_TEST_SEED={BASE_SEED:#x} "
+            f"python -m pytest '{item.nodeid}'",
+        ))
 
 
 @pytest.fixture()
 def rng() -> random.Random:
     """Fresh deterministic RNG per test."""
-    return random.Random(0xC0FFEE)
+    return random.Random(BASE_SEED)
 
 
 @pytest.fixture(scope="session")
 def session_rng() -> random.Random:
-    return random.Random(0xDEC0DE)
+    return random.Random(SESSION_SEED)
 
 
 @pytest.fixture(scope="session")

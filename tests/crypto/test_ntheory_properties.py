@@ -1,0 +1,157 @@
+"""Property tests for the number-theoretic substrate.
+
+Runs on the in-repo :mod:`repro.testing.properties` runner — seeded
+from ``REPRO_TEST_SEED``, no third-party dependency — so the algebraic
+laws every upper layer leans on (inverses, CRT, square roots,
+primality) are checked over hundreds of random cases on any machine.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.crypto.ntheory import (
+    SMALL_PRIMES,
+    crt,
+    is_probable_prime,
+    is_quadratic_residue,
+    jacobi,
+    miller_rabin,
+    modinv,
+    next_prime,
+    primes_up_to,
+    random_prime,
+    sqrt_mod_prime,
+)
+from repro.testing.properties import property_test
+
+
+def _random_odd(rng, lo=3, hi=1 << 20):
+    return rng.randrange(lo, hi) | 1
+
+
+@property_test(cases=128)
+def test_modinv_times_a_is_one(rng):
+    m = rng.randrange(2, 1 << 48)
+    a = rng.randrange(1, m)
+    while math.gcd(a, m) != 1:
+        a = rng.randrange(1, m)
+    inv = modinv(a, m)
+    assert 0 <= inv < m
+    assert (a * inv) % m == 1
+
+
+@property_test(cases=64)
+def test_modinv_rejects_noninvertible(rng):
+    g = rng.randrange(2, 1 << 8)
+    m = g * rng.randrange(2, 1 << 24)
+    a = g * rng.randrange(1, m // g)  # gcd(a, m) >= g > 1
+    try:
+        modinv(a, m)
+    except ValueError:
+        return
+    raise AssertionError(f"modinv({a}, {m}) succeeded despite gcd >= {g}")
+
+
+@property_test(cases=96)
+def test_crt_reconstruction(rng):
+    """x mod m_i == r_i for pairwise-coprime moduli, and x is canonical."""
+    moduli = []
+    product = 1
+    pool = primes_up_to(4000)[5:]
+    while len(moduli) < rng.randrange(2, 6):
+        p = pool[rng.randrange(len(pool))]
+        if p not in moduli:
+            e = rng.randrange(1, 3)
+            moduli.append(p**e)
+            product *= p**e
+    residues = [rng.randrange(m) for m in moduli]
+    x = crt(residues, moduli)
+    assert 0 <= x < product
+    for r, m in zip(residues, moduli):
+        assert x % m == r
+
+
+@property_test(cases=96)
+def test_crt_roundtrip_from_a_known_value(rng):
+    """Splitting a value into residues and recombining returns it."""
+    m1 = next_prime(rng.randrange(1 << 16, 1 << 20))
+    m2 = next_prime(m1)
+    value = rng.randrange(m1 * m2)
+    assert crt([value % m1, value % m2], [m1, m2]) == value
+
+
+@property_test(cases=96)
+def test_sqrt_mod_p_round_trip(rng):
+    p = random_prime(rng.randrange(10, 40), rng)
+    if p == 2:
+        return
+    x = rng.randrange(1, p)
+    a = (x * x) % p
+    root = sqrt_mod_prime(a, p)
+    assert (root * root) % p == a
+    assert root in (x, p - x)
+
+
+@property_test(cases=64)
+def test_sqrt_mod_p_rejects_nonresidues(rng):
+    p = random_prime(rng.randrange(10, 32), rng)
+    if p <= 3:
+        return
+    # half the nonzero elements are non-residues; find one by scanning
+    # from a random start (deterministic in the case RNG)
+    start = rng.randrange(1, p)
+    for offset in range(p - 1):
+        candidate = 1 + (start + offset - 1) % (p - 1)
+        if not is_quadratic_residue(candidate, p):
+            try:
+                sqrt_mod_prime(candidate, p)
+            except ValueError:
+                return
+            raise AssertionError(f"non-residue {candidate} got a root mod {p}")
+    raise AssertionError(f"no non-residue found mod {p}")
+
+
+@property_test(cases=48)
+def test_jacobi_matches_euler_for_primes(rng):
+    p = random_prime(rng.randrange(8, 24), rng)
+    if p == 2:
+        return
+    a = rng.randrange(1, p)
+    euler = pow(a, (p - 1) // 2, p)
+    expected = 1 if euler == 1 else -1
+    assert jacobi(a, p) == expected
+
+
+@property_test(cases=32)
+def test_miller_rabin_agrees_with_the_sieve(rng):
+    """Below the sieve limit, Miller–Rabin must match trial division."""
+    limit = 3000
+    sieve = set(primes_up_to(limit))
+    lo = rng.randrange(2, limit - 200)
+    for n in range(lo, lo + 200):
+        assert is_probable_prime(n) == (n in sieve), n
+
+
+@property_test(cases=48)
+def test_miller_rabin_kills_odd_composites(rng):
+    a = _random_odd(rng, 3, 1 << 24)
+    b = _random_odd(rng, 3, 1 << 24)
+    n = a * b
+    assert not miller_rabin(n, (2, 3, 5, 7, 11, 13, 17))
+
+
+@property_test(cases=32)
+def test_random_prime_is_prime_with_exact_bits(rng):
+    bits = rng.randrange(8, 48)
+    p = random_prime(bits, rng)
+    assert p.bit_length() == bits
+    assert is_probable_prime(p)
+    # cross-check against an independent witness set
+    assert miller_rabin(p, [rng.randrange(2, p - 1) for _ in range(8)])
+
+
+@property_test(cases=24)
+def test_small_primes_table_is_exactly_the_sieve(rng):
+    limit = rng.randrange(10, 1999)
+    assert primes_up_to(limit) == [p for p in SMALL_PRIMES if p <= limit]

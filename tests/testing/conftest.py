@@ -1,0 +1,24 @@
+"""Fixtures for the fault-injection harness tests.
+
+The token kits are expensive (blind issuance, spend proofs, RSA
+keygen) and pure — they bind to a keypair, not a bank — so they are
+minted once per session and shared across every scenario.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.testing import build_deposit_kit, build_pbs_kit
+
+
+@pytest.fixture(scope="session")
+def deposit_kit():
+    return build_deposit_kit(random.Random("testing-kit:dec"))
+
+
+@pytest.fixture(scope="session")
+def pbs_kit():
+    return build_pbs_kit(random.Random("testing-kit:pbs"))

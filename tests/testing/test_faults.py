@@ -1,0 +1,109 @@
+"""The fault plan must be a pure function of its seed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.transport import Transport
+from repro.testing import CrashPoint, FaultClock, FaultPlan, FaultyTransport
+
+
+class TestFaultPlan:
+    def test_same_seed_same_plan(self):
+        assert FaultPlan.from_seed(1234) == FaultPlan.from_seed(1234)
+
+    def test_different_seeds_differ(self):
+        plans = {FaultPlan.from_seed(s) for s in range(20)}
+        assert len(plans) == 20
+
+    def test_rates_bounded_by_intensity(self):
+        for seed in range(50):
+            plan = FaultPlan.from_seed(seed, intensity=0.2)
+            assert 0.0 <= plan.drop <= 0.2
+            assert 0.0 <= plan.duplicate <= 0.2
+            assert 0.0 <= plan.reorder <= 0.2
+            assert len(plan.crash_points) <= 3
+            assert all(p >= 2 for p in plan.crash_points)
+
+    def test_perturb_deterministic(self):
+        plan = FaultPlan.from_seed(99)
+        assert plan.perturb(40) == plan.perturb(40)
+
+    def test_perturb_partitions_requests(self):
+        """Every request is either dropped or delivered at least once."""
+        plan = FaultPlan(seed=5, drop=0.3, duplicate=0.3, reorder=0.3)
+        schedule, dropped = plan.perturb(60)
+        delivered = {d.original for d in schedule}
+        assert delivered & set(dropped) == set()
+        assert delivered | set(dropped) == set(range(60))
+
+    def test_duplicates_share_the_original_index(self):
+        plan = FaultPlan(seed=6, duplicate=1.0)
+        schedule, dropped = plan.perturb(10)
+        assert not dropped
+        assert len(schedule) == 20
+        for i in range(10):
+            copies = [d for d in schedule if d.original == i]
+            assert len(copies) == 2
+            assert sorted(d.duplicate for d in copies) == [False, True]
+
+    def test_zero_rates_are_the_identity(self):
+        plan = FaultPlan(seed=7)
+        schedule, dropped = plan.perturb(15)
+        assert not dropped
+        assert [d.original for d in schedule] == list(range(15))
+        assert not any(d.duplicate for d in schedule)
+
+    def test_describe_carries_the_whole_schedule(self):
+        plan = FaultPlan.from_seed(42)
+        desc = plan.describe()
+        assert desc["seed"] == 42
+        assert desc["crash_points"] == list(plan.crash_points)
+        assert set(desc) >= {"drop", "duplicate", "reorder", "max_slip"}
+
+
+class TestFaultClock:
+    def test_fires_exactly_at_scripted_ticks(self):
+        clock = FaultClock((2, 4))
+        fired = [clock.tick() for _ in range(6)]
+        assert fired == [False, False, True, False, True, False]
+        assert clock.fired == [2, 4]
+
+    def test_each_point_fires_once(self):
+        clock = FaultClock((1,))
+        assert [clock.tick() for _ in range(4)] == [False, True, False, False]
+
+    def test_stale_points_are_skipped_not_fired_late(self):
+        clock = FaultClock((0, 3))
+        clock.ticks = 2  # simulate envelopes lost to an earlier crash
+        assert [clock.tick() for _ in range(3)] == [False, True, False]
+        assert clock.fired == [3]
+
+
+class TestFaultyTransport:
+    def test_crashes_before_delivery(self):
+        transport = FaultyTransport(FaultClock((1,)))
+        transport.send("a", "b", "msg", {"x": 1})
+        before = len(transport.log)
+        with pytest.raises(CrashPoint) as excinfo:
+            transport.send("a", "b", "msg", {"x": 2})
+        assert excinfo.value.envelope_seq == 1
+        # the in-flight envelope died with the process
+        assert len(transport.log) == before
+
+    def test_clock_spans_incarnations(self):
+        """Crash points keep firing after the transport is replaced."""
+        clock = FaultClock((0, 2))
+        first = FaultyTransport(clock)
+        with pytest.raises(CrashPoint):
+            first.send("a", "b", "m", 1)
+        second = FaultyTransport(clock)  # the recovered incarnation
+        second.send("a", "b", "m", 1)  # tick 1
+        with pytest.raises(CrashPoint):
+            second.send("a", "b", "m", 2)  # tick 2
+
+    def test_delivers_like_a_plain_transport(self):
+        faulty = FaultyTransport()
+        plain = Transport()
+        payload = {"k": [1, 2, 3]}
+        assert faulty.send("a", "b", "m", payload) == plain.send("a", "b", "m", payload)

@@ -1,0 +1,138 @@
+"""The in-repo property runner: seeding, determinism, failure reports."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.testing.properties import (
+    DEFAULT_SEED,
+    PropertyError,
+    env_seed,
+    property_test,
+)
+
+
+class TestEnvSeed:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_SEED", raising=False)
+        assert env_seed() == DEFAULT_SEED
+
+    def test_decimal_and_hex_literals(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SEED", "57005")
+        assert env_seed() == 57005
+        monkeypatch.setenv("REPRO_TEST_SEED", "0xDEAD")
+        assert env_seed() == 0xDEAD
+
+    def test_blank_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SEED", "  ")
+        assert env_seed() == DEFAULT_SEED
+
+    def test_garbage_rejected_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_SEED", "banana")
+        with pytest.raises(ValueError, match="REPRO_TEST_SEED"):
+            env_seed()
+
+
+class TestPropertyTest:
+    def test_runs_every_case(self):
+        seen = []
+
+        @property_test(cases=17, seed=1)
+        def prop(rng):
+            seen.append(rng.random())
+
+        prop()
+        assert len(seen) == 17
+        assert len(set(seen)) == 17  # each case gets its own stream
+
+    def test_cases_are_deterministic_in_the_seed(self):
+        def collect(seed):
+            values = []
+
+            @property_test(cases=5, seed=seed, name="stable")
+            def prop(rng):
+                values.append(rng.randrange(10**9))
+
+            prop()
+            return values
+
+        assert collect(7) == collect(7)
+        assert collect(7) != collect(8)
+
+    def test_env_seed_drives_the_cases(self, monkeypatch):
+        def collect():
+            values = []
+
+            @property_test(cases=3, name="env-driven")
+            def prop(rng):
+                values.append(rng.random())
+
+            prop()
+            return values
+
+        monkeypatch.setenv("REPRO_TEST_SEED", "111")
+        first = collect()
+        monkeypatch.setenv("REPRO_TEST_SEED", "222")
+        second = collect()
+        monkeypatch.setenv("REPRO_TEST_SEED", "111")
+        assert collect() == first
+        assert first != second
+
+    def test_failure_report_names_seed_and_case(self):
+        @property_test(cases=50, seed=0xBEEF, name="sometimes-false")
+        def prop(rng):
+            assert rng.random() < 0.9, "tail event"
+
+        with pytest.raises(PropertyError) as excinfo:
+            prop()
+        message = str(excinfo.value)
+        assert "sometimes-false" in message
+        assert "0xbeef" in message
+        assert "REPRO_TEST_SEED=0xbeef" in message
+        assert "tail event" in message
+        assert excinfo.value.case >= 0
+
+    def test_decorated_function_takes_no_pytest_fixtures(self):
+        """pytest must see a zero-argument test, not an ``rng`` fixture."""
+        import inspect
+
+        @property_test(cases=1, seed=0)
+        def prop(rng):
+            pass
+
+        assert inspect.signature(prop).parameters == {}
+
+    def test_rejects_zero_cases(self):
+        with pytest.raises(ValueError):
+            property_test(cases=0)
+
+    def test_non_assertion_errors_propagate_unwrapped(self):
+        """Only assertion failures become PropertyError; bugs stay loud."""
+
+        @property_test(cases=1, seed=0)
+        def prop(rng):
+            raise RuntimeError("broken generator")
+
+        with pytest.raises(RuntimeError, match="broken generator"):
+            prop()
+
+
+def test_runner_works_under_collection():
+    """A decorated property used exactly as in the crypto suites."""
+
+    @property_test(cases=8, seed=3)
+    def check(rng):
+        a = rng.randrange(1, 1000)
+        assert a * 2 == a + a
+
+    check()
+
+
+def test_random_module_usable_inside_properties():
+    @property_test(cases=2, seed=4)
+    def check(rng):
+        assert isinstance(rng, random.Random)
+
+    check()

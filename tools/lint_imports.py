@@ -37,11 +37,13 @@ ALLOWED: dict[str, set[str]] = {
     "workloads": {"net"},
     "sim": {"attacks", "core"},
     "service": {"core", "crypto", "ecash", "metrics", "net"},
+    # the fault harness drives the whole stack, so it sits above it
+    "testing": {"core", "crypto", "ecash", "net", "service"},
     "cli": {"attacks", "core", "crypto", "ecash", "metrics"},
     # the root package re-exports everything
     "(root)": {
         "_util", "attacks", "cli", "core", "crypto", "ecash", "metrics",
-        "net", "service", "sim", "workloads",
+        "net", "service", "sim", "testing", "workloads",
     },
 }
 
