@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install dev test bench bench-json service-bench fastexp-bench report examples lint-imports test-faults coverage clean
+.PHONY: install dev test bench bench-json service-bench fastexp-bench report examples lint-imports test-faults coverage obs-demo clean
 
 # Coverage floor enforced by `make coverage` and the CI coverage job.
 # Measured line coverage of src/repro under the full suite is ~96%;
@@ -45,6 +45,13 @@ test-faults:
 coverage:
 	$(PYTHON) -m pytest tests/ -q --cov=repro --cov-report=term-missing --cov-fail-under=$(COV_FLOOR)
 
+# Traced demo run: loads the toy market under full telemetry, drops
+# trace.json / metrics.json / metrics.prom into ./telemetry/, then
+# schema-checks the exports.  See docs/observability.md.
+obs-demo:
+	PYTHONPATH=src $(PYTHON) tools/obs_demo.py --out telemetry
+	$(PYTHON) tools/check_telemetry.py telemetry
+
 report:
 	$(PYTHON) -m repro.cli report --out experiment_report.md
 
@@ -52,5 +59,5 @@ examples:
 	for s in examples/*.py; do echo "== $$s"; $(PYTHON) $$s || exit 1; done
 
 clean:
-	rm -rf .pytest_cache .hypothesis bench_results.json experiment_report.md
+	rm -rf .pytest_cache .hypothesis bench_results.json experiment_report.md telemetry
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -34,6 +34,7 @@ import time
 
 import pytest
 
+import repro.obs as obs
 from repro.crypto import fastexp
 from repro.crypto.cl_sig import cl_keygen
 from repro.ecash.dec import setup
@@ -75,7 +76,7 @@ def service_workload(bench_rng):
 
 
 def _make_service(workload, *, n_shards, max_batch, pairing_batch,
-                  admission=None) -> MarketService:
+                  admission=None, telemetry=None) -> MarketService:
     params, keypair, book, _, _ = workload
     bank = ShardedBank(params, keypair, random.Random(3), n_shards=n_shards)
     for aid, balance in book.accounts.items():
@@ -89,10 +90,11 @@ def _make_service(workload, *, n_shards, max_batch, pairing_batch,
     return MarketService(
         bank, batcher=batcher,
         admission=admission if admission is not None else AdmissionController(),
+        telemetry=telemetry,
     )
 
 
-def _replay(workload, **config) -> float:
+def _replay(workload, *, telemetry=None, **config) -> float:
     """Wall seconds to serve the whole workload under *config*.
 
     Fast-exp tables off for the timed region — see the module
@@ -102,7 +104,7 @@ def _replay(workload, **config) -> float:
     previous = fastexp.configure(enabled=False)
     fastexp.reset()
     try:
-        service = _make_service(workload, **config)
+        service = _make_service(workload, telemetry=telemetry, **config)
         report = run_trace(service, requests, arrivals)
     finally:
         fastexp.configure(**previous)
@@ -142,6 +144,42 @@ def test_sharded_batched_deposits_2x(benchmark, service_workload):
     assert speedup >= REQUIRED_SPEEDUP, (
         f"batched configuration reached only {speedup:.2f}x over "
         f"single-shard batch-1 (required {REQUIRED_SPEEDUP}x)"
+    )
+
+
+#: tracing-on may cost at most this fraction over toggles-off
+MAX_TRACING_OVERHEAD = 0.03
+
+
+def test_tracing_overhead_under_three_percent(benchmark, service_workload):
+    """Observability acceptance: full tracing+metrics ≤ 3% wall overhead.
+
+    The same batched replay runs twice — with the module-default
+    *disabled* telemetry (the toggles-off path every other benchmark in
+    this file times, so its cost is already bounded by the 2× speedup
+    assertion above) and with a fully enabled stack sized to hold every
+    span.  Min-of-rounds on both sides damps scheduler noise before the
+    ratio is taken.
+    """
+    plain_wall = min(_replay(service_workload, **BATCHED) for _ in range(3))
+
+    def traced_run() -> float:
+        telemetry = obs.Telemetry.enabled(capacity=65536)
+        return _replay(service_workload, telemetry=telemetry, **BATCHED)
+
+    benchmark.pedantic(traced_run, rounds=3, iterations=1)
+    traced_wall = benchmark.stats.stats.min
+    overhead = traced_wall / plain_wall - 1.0
+    benchmark.extra_info.update(
+        BATCHED,
+        deposits=N_DEPOSITS,
+        plain_wall_s=round(plain_wall, 4),
+        traced_wall_s=round(traced_wall, 4),
+        tracing_overhead=round(overhead, 4),
+    )
+    assert overhead <= MAX_TRACING_OVERHEAD, (
+        f"tracing-on replay cost {overhead:.1%} over toggles-off "
+        f"(budget {MAX_TRACING_OVERHEAD:.0%})"
     )
 
 

@@ -29,7 +29,18 @@ See ``examples/`` for complete scenarios and ``DESIGN.md`` for the
 system inventory and the paper-experiment index.
 """
 
-from repro import attacks, core, crypto, ecash, metrics, net, service, sim, workloads
+from repro import (
+    attacks,
+    core,
+    crypto,
+    ecash,
+    metrics,
+    net,
+    obs,
+    service,
+    sim,
+    workloads,
+)
 
 __version__ = "1.0.0"
 
@@ -40,6 +51,7 @@ __all__ = [
     "ecash",
     "metrics",
     "net",
+    "obs",
     "service",
     "sim",
     "workloads",

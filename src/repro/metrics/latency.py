@@ -41,6 +41,24 @@ def _quantile(sorted_values: list[float], q: float) -> float:
     return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
 
 
+def _nearest_rank(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank quantile: the ceil(q*n)-th order statistic.
+
+    Interpolation on a tail quantile of a small sample *invents* a
+    latency between the worst two observations — a p99 of 10 samples
+    reporting a value no request ever experienced, and one that
+    understates the observed worst case.  Nearest-rank always returns
+    an actual sample, so "p99" on small n degrades honestly to "the
+    slowest request" instead of a fabricated midpoint.
+    """
+    if not sorted_values:
+        raise ValueError("no samples recorded")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    rank = math.ceil(q * len(sorted_values))
+    return sorted_values[max(rank, 1) - 1]
+
+
 @dataclass(frozen=True)
 class LatencyReport:
     """Summary of a recorded latency distribution (seconds)."""
@@ -104,12 +122,15 @@ class LatencyRecorder:
             elapsed = self._span_end - self._span_start
         else:
             elapsed = sum(data)
+        # below 100 samples, interpolating p99 manufactures a latency
+        # between the two slowest requests; report an order statistic
+        quantile = _quantile if len(data) >= 100 else _nearest_rank
         return LatencyReport(
             count=len(data),
             mean=sum(data) / len(data),
-            p50=_quantile(data, 0.50),
-            p95=_quantile(data, 0.95),
-            p99=_quantile(data, 0.99),
+            p50=quantile(data, 0.50),
+            p95=quantile(data, 0.95),
+            p99=quantile(data, 0.99),
             maximum=data[-1],
             elapsed=elapsed,
         )

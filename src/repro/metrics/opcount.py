@@ -20,7 +20,14 @@ from dataclasses import dataclass, field
 
 from repro.crypto import fastexp
 
-__all__ = ["OpCounter", "OPS", "format_table", "fastexp_stats", "format_fastexp_stats"]
+__all__ = [
+    "OpCounter",
+    "OPS",
+    "format_table",
+    "fastexp_stats",
+    "format_fastexp_stats",
+    "publish_fastexp",
+]
 
 OPS = ("ZKP", "Enc", "Dec", "H")
 
@@ -78,6 +85,28 @@ def fastexp_stats() -> dict[str, dict[str, int]]:
     ``bypasses``/``tables``.
     """
     return fastexp.stats()
+
+
+def publish_fastexp(registry=None) -> None:
+    """Mirror the fastexp cache counters into a metrics registry.
+
+    The caches keep their own monotonic tallies (they predate the
+    registry and must stay import-light), so export is pull-style:
+    each call overwrites gauges ``repro_fastexp_<counter>{cache=...}``
+    with the current totals.  With *registry* ``None`` the process
+    default from :func:`repro.obs.get_default` is used.
+    """
+    from repro import obs
+
+    if registry is None:
+        registry = obs.get_default().registry
+    for cache, row in fastexp.stats().items():
+        for counter, value in row.items():
+            registry.gauge(
+                f"repro_fastexp_{counter}",
+                f"fastexp table-cache {counter} (monotonic total)",
+                cache=cache,
+            ).set(value)
 
 
 def format_fastexp_stats(stats: dict[str, dict[str, int]] | None = None) -> str:

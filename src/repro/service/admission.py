@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import repro.obs as obs
+
 __all__ = ["TokenBucket", "AdmissionDecision", "AdmissionController"]
 
 
@@ -76,6 +78,7 @@ class AdmissionController:
         rate: float | None = None,
         burst: float = 64.0,
         max_queue_depth: int | None = None,
+        telemetry: "obs.Telemetry | None" = None,
     ) -> None:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise ValueError("max_queue_depth must be positive (or None)")
@@ -83,6 +86,25 @@ class AdmissionController:
         self.max_queue_depth = max_queue_depth
         self.shed_by_rate = 0
         self.shed_by_queue = 0
+        self._bind_obs(telemetry)
+
+    def _bind_obs(self, telemetry: "obs.Telemetry | None") -> None:
+        self.obs = telemetry if telemetry is not None else obs.get_default()
+        registry = self.obs.registry
+        self._m_admitted = registry.counter(
+            "repro_admission_admitted_total", "requests admitted past control"
+        )
+        self._m_shed = {
+            reason: registry.counter(
+                "repro_admission_shed_total",
+                "requests shed with BUSY, by reason", reason=reason,
+            )
+            for reason in ("rate", "queue")
+        }
+        self._m_depth = registry.gauge(
+            "repro_admission_queue_depth",
+            "backlog observed at the latest admission decision",
+        )
 
     @property
     def shed_total(self) -> int:
@@ -95,10 +117,14 @@ class AdmissionController:
         the bound, refusing is right regardless of rate budget (tokens
         are not consumed for a request that is shed anyway).
         """
+        self._m_depth.set(queue_depth)
         if self.max_queue_depth is not None and queue_depth >= self.max_queue_depth:
             self.shed_by_queue += 1
+            self._m_shed["queue"].inc()
             return AdmissionDecision(admitted=False, reason="queue")
         if self.bucket is not None and not self.bucket.allow(now):
             self.shed_by_rate += 1
+            self._m_shed["rate"].inc()
             return AdmissionDecision(admitted=False, reason="rate")
+        self._m_admitted.inc()
         return AdmissionDecision(admitted=True)

@@ -31,6 +31,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
 
+import repro.obs as obs
 from repro.crypto.cl_sig import CLKeyPair, CLPublicKey, CLSignature, cl_blind_issue
 from repro.ecash.batch import batch_verify_spends
 from repro.ecash.dec import BlindIssuanceRequest
@@ -54,12 +55,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class DepositJob:
-    """A deposit awaiting verification."""
+    """A deposit awaiting verification.
+
+    ``trace`` is the request's telemetry trace id (already redacted —
+    a digest of the rid, never the rid itself); the flush attributes
+    its wall time to every job it verified under that id.
+    """
 
     seq: int
     aid: str
     token: SpendToken
     context: bytes = b""
+    trace: str = ""
 
 
 @dataclass(frozen=True)
@@ -69,6 +76,7 @@ class WithdrawJob:
     seq: int
     aid: str
     request: BlindIssuanceRequest
+    trace: str = ""
 
 
 @dataclass(frozen=True)
@@ -142,6 +150,7 @@ class VerificationBatcher:
         pairing_batch: bool = True,
         seed: int = 0,
         warm_tables: bool = True,
+        telemetry: "obs.Telemetry | None" = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -149,6 +158,7 @@ class VerificationBatcher:
             raise ValueError("processes must be positive")
         self.params = params
         self.keypair = keypair
+        self._bind_obs(telemetry)
         if warm_tables:
             # build the fixed-base/Miller tables for the bank key and the
             # tower generators up front: steady-state flushes (at least
@@ -162,6 +172,23 @@ class VerificationBatcher:
         self.flushes = 0
         self.jobs_processed = 0
 
+    def _bind_obs(self, telemetry: "obs.Telemetry | None") -> None:
+        self.obs = telemetry if telemetry is not None else obs.get_default()
+        registry = self.obs.registry
+        self._m_flushes = registry.counter(
+            "repro_batcher_flushes_total", "batches flushed through the pool"
+        )
+        self._m_jobs = registry.counter(
+            "repro_batcher_jobs_total", "crypto jobs processed by flushes"
+        )
+        self._m_batch_size = registry.histogram(
+            "repro_batch_size", "jobs per flushed batch",
+            buckets=obs.SIZE_BUCKETS,
+        )
+        self._m_occupancy = registry.gauge(
+            "repro_batcher_occupancy", "jobs waiting in the batcher"
+        )
+
     def __len__(self) -> int:
         return len(self._pending)
 
@@ -171,6 +198,7 @@ class VerificationBatcher:
 
     def submit(self, job: DepositJob | WithdrawJob) -> None:
         self._pending.append(job)
+        self._m_occupancy.set(len(self._pending))
 
     @property
     def batch_ready(self) -> bool:
@@ -229,9 +257,27 @@ class VerificationBatcher:
                 chunk_jobs.append(list(chunk))
 
         self._flush_seed += 1
+        tracer = self.obs.tracer
+        traced = tracer.enabled
+        t0 = tracer.clock() if traced else 0.0
         chunk_results = sweep(
             _batch_worker, grid, seed=self._flush_seed, processes=self.processes
         )
+        if traced:
+            t1 = tracer.clock()
+            # one lane for the batcher itself, plus — for every job that
+            # belongs to a traced request — a span on *that request's*
+            # trace covering the flush it rode in: queueing-behind-a-batch
+            # shows up inside the request timeline, where it belongs
+            tracer.emit("batch_flush", trace="batcher", start=t0, end=t1,
+                        batch=take, withdraws=len(withdraws), chunks=len(grid))
+            for job in jobs:
+                if job.trace:
+                    tracer.emit(
+                        "verify_spend" if isinstance(job, DepositJob)
+                        else "blind_issue",
+                        trace=job.trace, start=t0, end=t1, batch=take,
+                    )
 
         by_seq: dict[int, DepositOutcome | WithdrawOutcome] = {}
         for chunk, results in zip(chunk_jobs, chunk_results):
@@ -245,4 +291,8 @@ class VerificationBatcher:
                     by_seq[job.seq] = WithdrawOutcome(seq=job.seq, signature=result)
         self.flushes += 1
         self.jobs_processed += take
+        self._m_flushes.inc()
+        self._m_jobs.inc(take)
+        self._m_batch_size.observe(take)
+        self._m_occupancy.set(len(self._pending))
         return [by_seq[job.seq] for job in jobs]

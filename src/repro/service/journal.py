@@ -41,6 +41,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+import repro.obs as obs
 from repro.crypto.hashing import sha256
 from repro.net.codec import decode, encode
 
@@ -110,8 +111,28 @@ class Journal:
     (a record read back at recovery is a fresh decoded copy).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, telemetry: "obs.Telemetry | None" = None) -> None:
         self._records: list[JournalRecord] = []
+        self._bind_obs(telemetry)
+
+    def _bind_obs(self, telemetry: "obs.Telemetry | None") -> None:
+        """Attach a telemetry stack (the service shares its own down)."""
+        self.obs = telemetry if telemetry is not None else obs.get_default()
+        registry = self.obs.registry
+        self._m_appends = {
+            kind: registry.counter(
+                "repro_journal_appends_total",
+                "journal records appended, by record kind", kind=kind,
+            )
+            for kind in RECORD_KINDS
+        }
+        self._m_bytes = registry.counter(
+            "repro_journal_append_bytes_total",
+            "encoded payload bytes appended to the journal",
+        )
+        self._m_lsn = registry.gauge(
+            "repro_journal_lsn", "log sequence number of the newest record"
+        )
 
     def __len__(self) -> int:
         return len(self._records)
@@ -126,14 +147,23 @@ class Journal:
         if kind not in RECORD_KINDS:
             raise JournalError(f"unknown journal record kind {kind!r}")
         try:
-            normalized = decode(encode(payload))
+            encoded = encode(payload)
+            normalized = decode(encoded)
         except (TypeError, ValueError) as exc:
             raise JournalError(f"unjournalable payload for {op!r}: {exc}") from exc
         record = JournalRecord(
             lsn=len(self._records), kind=kind, rid=rid, op=op, payload=normalized
         )
-        self._records.append(record)
-        self._persist(record)
+        # the span inherits the active request's trace id (the apply or
+        # submit span is on the tracer stack), so journal time shows up
+        # inside the request's timeline, not as a detached blip
+        with self.obs.tracer.span("journal_append", kind=kind, op=op,
+                                  lsn=record.lsn, bytes=len(encoded)):
+            self._records.append(record)
+            self._persist(record)
+        self._m_appends[kind].inc()
+        self._m_bytes.inc(len(encoded))
+        self._m_lsn.set(record.lsn)
         return record
 
     def _persist(self, record: JournalRecord) -> None:
@@ -159,8 +189,9 @@ class FileJournal(Journal):
     tail, which no crash can produce.
     """
 
-    def __init__(self, path: str | os.PathLike[str]) -> None:
-        super().__init__()
+    def __init__(self, path: str | os.PathLike[str], *,
+                 telemetry: "obs.Telemetry | None" = None) -> None:
+        super().__init__(telemetry=telemetry)
         self.path = os.fspath(path)
         self.torn_tail = False
         if os.path.exists(self.path):

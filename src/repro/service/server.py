@@ -45,6 +45,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+import repro.obs as obs
 from repro.core.engine import ProtocolError
 from repro.crypto.cl_sig import BlindIssuanceRequest
 from repro.ecash.dec import DoubleSpendError
@@ -100,6 +101,7 @@ class _Pending:
     payload: Any
     submitted_at: float
     rid: str = ""
+    trace: str = ""  # telemetry trace id (digest of rid; "" = untraced)
     outcome: DepositOutcome | WithdrawOutcome | None = field(default=None)
 
     @property
@@ -121,6 +123,7 @@ class MarketService:
         name: str = SERVICE,
         clock: Callable[[], float] = time.perf_counter,
         journal: Journal | None = None,
+        telemetry: "obs.Telemetry | None" = None,
     ) -> None:
         self.bank = bank
         self.name = name
@@ -141,6 +144,7 @@ class MarketService:
         if journal is not None and bank.journal is None:
             bank.journal = journal
         self.journal = bank.journal
+        self._bind_obs(telemetry)
         self._next_seq = 0
         self._queues: dict[str, deque[_Pending]] = {}
         self._sender_order: list[str] = []
@@ -154,6 +158,72 @@ class MarketService:
         self._observers: list[Callable[[Completion], None]] = []
 
     # -- instrumentation ---------------------------------------------------
+    def _bind_obs(self, telemetry: "obs.Telemetry | None") -> None:
+        """Resolve the telemetry stack and push it down the whole stack.
+
+        An explicit *telemetry* handed to the service wins for every
+        component it drives — one tracer means one trace id follows a
+        request through bank, batcher, admission and journal; split
+        stacks would fracture the timeline.  With ``None`` everything
+        already shares the module default, so nothing is overridden.
+        """
+        explicit = telemetry is not None
+        self.obs = telemetry if explicit else obs.get_default()
+        if explicit:
+            self.bank._bind_obs(telemetry)
+            self.batcher._bind_obs(telemetry)
+            self.admission._bind_obs(telemetry)
+            if self.journal is not None:
+                self.journal._bind_obs(telemetry)
+        registry = self.obs.registry
+        self._m_requests = registry.counter(
+            "repro_service_requests_total", "requests submitted to the service"
+        )
+        self._m_replies = {
+            status: registry.counter(
+                "repro_service_replies_total",
+                "replies sent, by terminal status", status=status,
+            )
+            for status in ("OK", "BUSY", "ERROR", "REJECTED")
+        }
+        self._m_dedup = registry.counter(
+            "repro_service_dedup_hits_total",
+            "duplicate rids answered from the reply cache",
+        )
+        self._m_queue_depth = registry.gauge(
+            "repro_service_queue_depth", "accepted-but-unapplied requests"
+        )
+        self._m_latency = registry.histogram(
+            "repro_request_latency_seconds",
+            "submit-to-reply latency of answered requests",
+        )
+        self._m_recoveries = registry.counter(
+            "repro_recoveries_total", "service incarnations built by recover()"
+        )
+        self._m_redone = registry.counter(
+            "repro_recovery_redone_total",
+            "accepted-but-unanswered requests re-enqueued by recovery",
+        )
+
+    def dump_telemetry(self, directory=None):
+        """Export the service's telemetry (trace + metrics) in one call.
+
+        Refreshes the pull-style values first — fastexp cache counters
+        (via :func:`repro.metrics.opcount.publish_fastexp`) and the
+        live queue depth — then returns
+        :meth:`repro.obs.Telemetry.export`'s dict, or, given a
+        *directory*, writes ``trace.json`` / ``metrics.json`` /
+        ``metrics.prom`` there and returns their paths.
+        """
+        from repro.metrics.opcount import publish_fastexp
+
+        publish_fastexp(self.obs.registry)
+        self._m_queue_depth.set(self.queue_depth)
+        self.batcher._m_occupancy.set(len(self.batcher))
+        if directory is not None:
+            return self.obs.dump(directory)
+        return self.obs.export()
+
     def add_completion_observer(self, fn: Callable[[Completion], None]) -> None:
         self._observers.append(fn)
 
@@ -196,49 +266,65 @@ class MarketService:
         """
         seq = self._next_seq
         self._next_seq += 1
-        delivered = self.transport.send(sender, self.name, kind, payload)
         if rid is None:
             rid = f"{sender}:auto:{seq}"
-        if rid in self._replies:
-            self.dedup_hits += 1
-            status, body = self._replies[rid]
-            self.transport.send(self.name, sender, "reply",
-                                {"req": seq, "status": status, **body})
-            return seq
-        if rid in self._accepted:
-            self.dedup_hits += 1
-            return seq
-        if kind in _CRYPTO_KINDS:
-            decision = self.admission.admit(now, self.queue_depth)
-            if not decision.admitted:
-                self.shed += 1
-                self._reply(sender, seq, kind, "BUSY", {"reason": decision.reason},
-                            submitted_at=None)
+        tracer = self.obs.tracer
+        # the trace id is the rid's digest (never the rid itself — it
+        # may embed an account id); deriving it per layer is what
+        # propagates the trace without extra envelope state
+        tid = obs.trace_id(rid) if tracer.enabled else None
+        self._m_requests.inc()
+        with tracer.span("submit", trace=tid, kind=kind, seq=seq,
+                         sender=sender) as span:
+            delivered = self.transport.send(sender, self.name, kind, payload)
+            if rid in self._replies:
+                self.dedup_hits += 1
+                self._m_dedup.inc()
+                span.set(dedup=True)
+                status, body = self._replies[rid]
+                self.transport.send(self.name, sender, "reply",
+                                    {"req": seq, "status": status, **body})
                 return seq
-        if kind in _MUTATING_KINDS:
-            # write-ahead: the accepted request survives a crash, so an
-            # in-flight deposit is re-verified after recovery, not lost
-            if self.journal is not None:
-                self.journal.append(
-                    "accept", rid, kind,
-                    {"sender": sender, "kind": kind, "seq": seq,
-                     "payload": delivered},
-                )
-            self._accepted.add(rid)
-        pending = _Pending(seq=seq, sender=sender, kind=kind, payload=delivered,
-                           submitted_at=self._clock(), rid=rid)
-        if sender not in self._queues:
-            self._queues[sender] = deque()
-            self._sender_order.append(sender)
-        self._queues[sender].append(pending)
-        if kind in _CRYPTO_KINDS:
-            try:
-                self._enqueue_crypto(pending)
-            except ProtocolError as exc:
-                # malformed before it ever reaches the pool: fail it now
-                self._queues[sender].remove(pending)
-                self._fail(pending, "ERROR", str(exc))
-        return seq
+            if rid in self._accepted:
+                self.dedup_hits += 1
+                self._m_dedup.inc()
+                span.set(dedup=True)
+                return seq
+            if kind in _CRYPTO_KINDS:
+                depth = self.queue_depth
+                self._m_queue_depth.set(depth)
+                with tracer.span("admission", depth=depth):
+                    decision = self.admission.admit(now, depth)
+                if not decision.admitted:
+                    self.shed += 1
+                    self._reply(sender, seq, kind, "BUSY",
+                                {"reason": decision.reason}, submitted_at=None)
+                    return seq
+            if kind in _MUTATING_KINDS:
+                # write-ahead: the accepted request survives a crash, so an
+                # in-flight deposit is re-verified after recovery, not lost
+                if self.journal is not None:
+                    self.journal.append(
+                        "accept", rid, kind,
+                        {"sender": sender, "kind": kind, "seq": seq,
+                         "payload": delivered},
+                    )
+                self._accepted.add(rid)
+            pending = _Pending(seq=seq, sender=sender, kind=kind,
+                               payload=delivered, submitted_at=self._clock(),
+                               rid=rid, trace=tid or "")
+            if sender not in self._queues:
+                self._queues[sender] = deque()
+                self._sender_order.append(sender)
+            self._queues[sender].append(pending)
+            if kind in _CRYPTO_KINDS:
+                try:
+                    self._enqueue_crypto(pending)
+                except ProtocolError as exc:
+                    # malformed before it ever reaches the pool: fail it now
+                    self._queues[sender].remove(pending)
+                    self._fail(pending, "ERROR", str(exc))
+            return seq
 
     def _enqueue_crypto(self, pending: _Pending) -> None:
         payload = pending.payload
@@ -256,6 +342,7 @@ class MarketService:
                     aid=aid,
                     token=payload["token"],
                     context=payload.get("context", b""),
+                    trace=pending.trace,
                 )
             )
         else:
@@ -267,7 +354,8 @@ class MarketService:
                     f"account {aid!r} cannot cover a coin of value {value}"
                 )
             self.batcher.submit(
-                WithdrawJob(seq=pending.seq, aid=aid, request=payload["request"])
+                WithdrawJob(seq=pending.seq, aid=aid,
+                            request=payload["request"], trace=pending.trace)
             )
         self._in_flight[pending.seq] = pending
 
@@ -309,24 +397,29 @@ class MarketService:
         return completed
 
     def _apply_one(self, pending: _Pending) -> None:
-        try:
-            status, body = self._execute(pending)
-        except ProtocolError as exc:
-            self._fail(pending, "ERROR", str(exc))
-            return
-        except DoubleSpendError as exc:
-            evidence = exc.evidence
-            body = {"error": str(exc)}
-            if evidence is not None:
-                body["evidence"] = {
-                    "serial": evidence.serial,
-                    "prior": list(evidence.prior),
-                    "offending_node": list(evidence.offending_node),
-                }
-            self._fail(pending, "REJECTED", str(exc), body=body)
-            return
-        self._reply(pending.sender, pending.seq, pending.kind, status, body,
-                    submitted_at=pending.submitted_at, rid=pending.rid)
+        # the span re-attaches to the request's trace (apply happens
+        # long after the submit span closed), so shard mutation and
+        # reply nest under the same id as admission and verification
+        with self.obs.tracer.span("apply", trace=pending.trace or None,
+                                  kind=pending.kind, seq=pending.seq):
+            try:
+                status, body = self._execute(pending)
+            except ProtocolError as exc:
+                self._fail(pending, "ERROR", str(exc))
+                return
+            except DoubleSpendError as exc:
+                evidence = exc.evidence
+                body = {"error": str(exc)}
+                if evidence is not None:
+                    body["evidence"] = {
+                        "serial": evidence.serial,
+                        "prior": list(evidence.prior),
+                        "offending_node": list(evidence.offending_node),
+                    }
+                self._fail(pending, "REJECTED", str(exc), body=body)
+                return
+            self._reply(pending.sender, pending.seq, pending.kind, status, body,
+                        submitted_at=pending.submitted_at, rid=pending.rid)
 
     def _execute(self, pending: _Pending) -> tuple[str, dict]:
         kind, payload = pending.kind, pending.payload
@@ -389,17 +482,23 @@ class MarketService:
     def _reply(self, sender: str, seq: int, kind: str, status: str, body: dict,
                *, submitted_at: float | None, rid: str = "") -> None:
         latency = 0.0 if submitted_at is None else self._clock() - submitted_at
-        if rid and kind in _MUTATING_KINDS and status != "BUSY":
-            # journal before sending: a crash during the send leaves
-            # the verdict recoverable, so the client's retry gets the
-            # same answer instead of a re-execution
-            if self.journal is not None:
-                self.journal.append("reply", rid, kind,
-                                    {"status": status, "body": body})
-            self._replies[rid] = (status, body)
-            self._accepted.discard(rid)
-        self.transport.send(self.name, sender, "reply",
-                            {"req": seq, "status": status, **body})
+        with self.obs.tracer.span("reply", status=status, kind=kind, seq=seq):
+            if rid and kind in _MUTATING_KINDS and status != "BUSY":
+                # journal before sending: a crash during the send leaves
+                # the verdict recoverable, so the client's retry gets the
+                # same answer instead of a re-execution
+                if self.journal is not None:
+                    self.journal.append("reply", rid, kind,
+                                        {"status": status, "body": body})
+                self._replies[rid] = (status, body)
+                self._accepted.discard(rid)
+            self.transport.send(self.name, sender, "reply",
+                                {"req": seq, "status": status, **body})
+        counter = self._m_replies.get(status)
+        if counter is not None:
+            counter.inc()
+        if submitted_at is not None:
+            self._m_latency.observe(latency)
         self.completions += 1
         self._notify(Completion(sender=sender, seq=seq, kind=kind,
                                 status=status, latency=latency))
@@ -424,6 +523,7 @@ class MarketService:
         admission: AdmissionController | None = None,
         name: str = SERVICE,
         clock: Callable[[], float] = time.perf_counter,
+        telemetry: "obs.Telemetry | None" = None,
     ) -> "MarketService":
         """Restart the service from a checkpoint plus the journal.
 
@@ -442,38 +542,46 @@ class MarketService:
            re-enqueued for verification: accepted deposits are never
            lost, merely re-verified.
         """
-        bank = ShardedBank.recover(
-            params, keypair, rng if rng is not None else random.Random(0),
-            journal, checkpoint=checkpoint, n_shards=n_shards,
-        )
-        service = cls(bank, transport=transport, batcher=batcher,
-                      admission=admission, rng=rng, name=name, clock=clock)
-        accepts: dict[str, JournalRecord] = {}
-        applies: dict[str, JournalRecord] = {}
-        replies: dict[str, JournalRecord] = {}
-        max_seq = -1
-        for record in journal.records():
-            if record.kind == "accept":
-                accepts.setdefault(record.rid, record)
-                max_seq = max(max_seq, record.payload.get("seq", -1))
-            elif record.kind == "apply" and record.rid:
-                applies.setdefault(record.rid, record)
-            elif record.kind == "reply":
-                replies.setdefault(record.rid, record)
-        # auto-generated rids embed the sequence number; never reuse one
-        service._next_seq = max_seq + 1
-        for rid, record in replies.items():
-            service._replies[rid] = (record.payload["status"],
-                                     record.payload["body"])
-        for rid, record in applies.items():
-            if rid not in service._replies:
-                service._replies[rid] = cls._synthesize_reply(record)
-        service.redone = 0
-        for rid, record in accepts.items():
-            if rid in service._replies or rid in applies:
-                continue
-            service._resubmit(record)
-            service.redone += 1
+        tel = telemetry if telemetry is not None else obs.get_default()
+        with tel.tracer.span("recover", shards=n_shards,
+                             lsn=journal.last_lsn) as span:
+            bank = ShardedBank.recover(
+                params, keypair, rng if rng is not None else random.Random(0),
+                journal, checkpoint=checkpoint, n_shards=n_shards,
+                telemetry=telemetry,
+            )
+            service = cls(bank, transport=transport, batcher=batcher,
+                          admission=admission, rng=rng, name=name,
+                          clock=clock, telemetry=telemetry)
+            accepts: dict[str, JournalRecord] = {}
+            applies: dict[str, JournalRecord] = {}
+            replies: dict[str, JournalRecord] = {}
+            max_seq = -1
+            for record in journal.records():
+                if record.kind == "accept":
+                    accepts.setdefault(record.rid, record)
+                    max_seq = max(max_seq, record.payload.get("seq", -1))
+                elif record.kind == "apply" and record.rid:
+                    applies.setdefault(record.rid, record)
+                elif record.kind == "reply":
+                    replies.setdefault(record.rid, record)
+            # auto-generated rids embed the sequence number; never reuse one
+            service._next_seq = max_seq + 1
+            for rid, record in replies.items():
+                service._replies[rid] = (record.payload["status"],
+                                         record.payload["body"])
+            for rid, record in applies.items():
+                if rid not in service._replies:
+                    service._replies[rid] = cls._synthesize_reply(record)
+            service.redone = 0
+            for rid, record in accepts.items():
+                if rid in service._replies or rid in applies:
+                    continue
+                service._resubmit(record)
+                service.redone += 1
+            span.set(redone=service.redone)
+        service._m_recoveries.inc()
+        service._m_redone.inc(service.redone)
         return service
 
     @staticmethod
@@ -494,9 +602,12 @@ class MarketService:
         sender, kind = payload["sender"], payload["kind"]
         seq = self._next_seq
         self._next_seq += 1
+        tracer = self.obs.tracer
         pending = _Pending(seq=seq, sender=sender, kind=kind,
                            payload=payload["payload"],
-                           submitted_at=self._clock(), rid=record.rid)
+                           submitted_at=self._clock(), rid=record.rid,
+                           trace=obs.trace_id(record.rid)
+                           if tracer.enabled else "")
         self._accepted.add(record.rid)
         if sender not in self._queues:
             self._queues[sender] = deque()

@@ -35,6 +35,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
+import repro.obs as obs
 from repro.core.ledger import AuditReport, audit_bank, restore_bank, snapshot_bank
 from repro.crypto.cl_sig import CLKeyPair, CLPublicKey
 from repro.crypto.hashing import sha256
@@ -79,6 +80,7 @@ class ShardedBank:
         *,
         n_shards: int = 4,
         journal: Journal | None = None,
+        telemetry: "obs.Telemetry | None" = None,
     ) -> None:
         if n_shards < 1:
             raise ValueError("need at least one shard")
@@ -92,6 +94,14 @@ class ShardedBank:
         #: write-ahead journal; every mutation appends its redo record
         #: here *before* the books change (None = journaling off)
         self.journal = journal
+        self._bind_obs(telemetry)
+
+    def _bind_obs(self, telemetry: "obs.Telemetry | None") -> None:
+        self.obs = telemetry if telemetry is not None else obs.get_default()
+        self._m_replayed = self.obs.registry.counter(
+            "repro_recovery_replayed_total",
+            "journal apply records replayed into recovered banks",
+        )
 
     @classmethod
     def create(
@@ -126,11 +136,14 @@ class ShardedBank:
 
     # -- accounts ----------------------------------------------------------
     def open_account(self, aid: str, initial_balance: int = 0, *, rid: str = "") -> None:
-        home = self.account_home(aid)
+        shard = account_shard(aid, self.n_shards)
+        home = self.shards[shard]
         if aid in home.accounts:
             raise ValueError(f"account {aid!r} already exists")
-        self._journal_apply(rid, "open-account", {"aid": aid, "balance": initial_balance})
-        home.open_account(aid, initial_balance)
+        with self.obs.tracer.span("shard_apply", kind="open-account", shard=shard):
+            self._journal_apply(rid, "open-account",
+                                {"aid": aid, "balance": initial_balance})
+            home.open_account(aid, initial_balance)
 
     def has_account(self, aid: str) -> bool:
         return aid in self.account_home(aid).accounts
@@ -150,16 +163,18 @@ class ShardedBank:
         *extra* rides along in the journal record (the service passes
         the issued signature, so recovery can re-send the lost reply).
         """
-        home = self.account_home(aid)
+        shard = account_shard(aid, self.n_shards)
+        home = self.shards[shard]
         value = 1 << self.params.tree_level
         if home.accounts.get(aid, 0) < value:
             raise ValueError(f"account {aid!r} cannot cover a coin of value {value}")
         payload = {"aid": aid, "value": value}
         if extra:
             payload.update(extra)
-        self._journal_apply(rid, "withdraw", payload)
-        home.accounts[aid] -= value
-        home.withdrawals.append(aid)
+        with self.obs.tracer.span("shard_apply", kind="withdraw", shard=shard):
+            self._journal_apply(rid, "withdraw", payload)
+            home.accounts[aid] -= value
+            home.withdrawals.append(aid)
 
     # -- deposit -----------------------------------------------------------
     def expand_serials(self, token: SpendToken) -> list[int]:
@@ -189,32 +204,37 @@ class ShardedBank:
         is journaled — the journal only ever holds mutations that the
         double-spend check has admitted.
         """
-        home = self.account_home(aid)
+        shard = account_shard(aid, self.n_shards)
+        home = self.shards[shard]
         if aid not in home.accounts:
             raise ValueError(f"unknown account {aid!r}")
-        conflict = self.check_deposit(serials)
-        if conflict is not None:
-            raise DoubleSpendError(
-                f"leaf serial already deposited (prior: {conflict.prior})",
-                evidence=DoubleSpendEvidence(
-                    serial=conflict.serial,
-                    prior=conflict.prior,
-                    offending_node=(aid, token.node.level, token.node.index),
-                ),
+        with self.obs.tracer.span("shard_apply", kind="deposit", shard=shard,
+                                  n=len(serials)):
+            conflict = self.check_deposit(serials)
+            if conflict is not None:
+                raise DoubleSpendError(
+                    f"leaf serial already deposited (prior: {conflict.prior})",
+                    evidence=DoubleSpendEvidence(
+                        serial=conflict.serial,
+                        prior=conflict.prior,
+                        offending_node=(aid, token.node.level, token.node.index),
+                    ),
+                )
+            amount = token.denomination(self.params.tree_level)
+            self._journal_apply(
+                rid,
+                "deposit",
+                {
+                    "aid": aid,
+                    "level": token.node.level,
+                    "index": token.node.index,
+                    "serials": list(serials),
+                    "amount": amount,
+                },
             )
-        amount = token.denomination(self.params.tree_level)
-        self._journal_apply(
-            rid,
-            "deposit",
-            {
-                "aid": aid,
-                "level": token.node.level,
-                "index": token.node.index,
-                "serials": list(serials),
-                "amount": amount,
-            },
-        )
-        self._commit_deposit(aid, token.node.level, token.node.index, serials, amount)
+            self._commit_deposit(
+                aid, token.node.level, token.node.index, serials, amount
+            )
         return amount
 
     def _commit_deposit(
@@ -273,6 +293,7 @@ class ShardedBank:
         *,
         checkpoint: Checkpoint | None = None,
         n_shards: int = 4,
+        telemetry: "obs.Telemetry | None" = None,
     ) -> "ShardedBank":
         """Rebuild the bank from a checkpoint plus the journal's tail.
 
@@ -284,22 +305,28 @@ class ShardedBank:
         result is bit-equal to the pre-crash *committed* state: every
         journaled mutation present, nothing half-applied.
         """
-        bank = cls(params, keypair, rng, n_shards=n_shards, journal=None)
+        bank = cls(params, keypair, rng, n_shards=n_shards, journal=None,
+                   telemetry=telemetry)
         start = -1
         if checkpoint is not None:
             bank.restore(checkpoint.blobs)
             start = checkpoint.lsn
         applied: set[str] = set()
-        for record in journal.records():
-            if record.kind != "apply":
-                continue
-            if record.lsn <= start:
-                # folded into the checkpoint already; remember the rid so
-                # a duplicate record after the cut can never re-apply it
-                if record.rid:
-                    applied.add(record.rid)
-                continue
-            bank._replay_record(record, applied)
+        replayed = 0
+        with bank.obs.tracer.span("bank_replay", lsn=journal.last_lsn) as span:
+            for record in journal.records():
+                if record.kind != "apply":
+                    continue
+                if record.lsn <= start:
+                    # folded into the checkpoint already; remember the rid so
+                    # a duplicate record after the cut can never re-apply it
+                    if record.rid:
+                        applied.add(record.rid)
+                    continue
+                bank._replay_record(record, applied)
+                replayed += 1
+            span.set(replayed=replayed)
+        bank._m_replayed.inc(replayed)
         bank.journal = journal
         return bank
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+import repro.obs as obs
 from repro.core.pbs_ledger import audit_pbs_bank, restore_pbs_bank, snapshot_pbs_bank
 from repro.core.ppms_pbs import CoinReceipt, PPMSpbsSession, VirtualBankPbs
 from repro.crypto import rsa
@@ -259,6 +260,7 @@ def run_deposit_scenario(
     n_shards: int = 3,
     max_batch: int = 4,
     checkpoint_every: int = 5,
+    telemetry: "obs.Telemetry | None" = None,
 ) -> ScenarioResult:
     """Replay the kit's deposit traffic under *plan*; verify everything.
 
@@ -267,20 +269,25 @@ def run_deposit_scenario(
     abandoned, exactly the process-death model.  Checkpoints are taken
     every *checkpoint_every* successful deliveries, so recoveries
     exercise snapshot-plus-tail replay, not just full replay.
+
+    *telemetry* (an :class:`repro.obs.Telemetry`) is handed to every
+    incarnation, so one trace shows a request crossing a crash: its
+    retry keeps the rid, hence the same trace id.
     """
     if isinstance(plan, int):
         plan = FaultPlan.from_seed(plan)
     if kit is None:
         kit = build_deposit_kit(random.Random(f"deposit-kit:{plan.seed}"))
     result = ScenarioResult(name="ppms-dec", plan=plan)
-    journal = Journal()
+    journal = Journal(telemetry=telemetry)
     clock = FaultClock(plan.crash_points)
     checkpoint: Checkpoint | None = None
     findings: list[str] = []
 
     def fresh_batcher() -> VerificationBatcher:
         return VerificationBatcher(
-            kit.params, kit.keypair, max_batch=max_batch, seed=7, warm_tables=False
+            kit.params, kit.keypair, max_batch=max_batch, seed=7,
+            warm_tables=False, telemetry=telemetry,
         )
 
     # first incarnation: fund the accounts and book the withdrawals the
@@ -288,7 +295,8 @@ def run_deposit_scenario(
     # out-of-band setup mutations (same as loadgen minting), not
     # requests with a client lifecycle; each record replays exactly once
     bank = ShardedBank(
-        kit.params, kit.keypair, random.Random(1), n_shards=n_shards, journal=journal
+        kit.params, kit.keypair, random.Random(1), n_shards=n_shards,
+        journal=journal, telemetry=telemetry,
     )
     for aid, balance, coins in kit.funding:
         bank.open_account(aid, balance)
@@ -299,6 +307,7 @@ def run_deposit_scenario(
         transport=FaultyTransport(clock),
         batcher=fresh_batcher(),
         rng=random.Random(2),
+        telemetry=telemetry,
     )
 
     def recover() -> MarketService:
@@ -311,6 +320,7 @@ def run_deposit_scenario(
             n_shards=n_shards,
             transport=FaultyTransport(clock),
             batcher=fresh_batcher(),
+            telemetry=telemetry,
         )
         sweep = check_recovery_invariants(recovered.bank, journal)
         findings.extend(
@@ -472,6 +482,9 @@ class _PbsDepositService:
                  transport: Transport) -> None:
         self.bank = bank
         self.journal = journal
+        # the journal carries the scenario's telemetry stack; sharing it
+        # keeps pbs submit spans and journal_append spans on one tracer
+        self.obs = journal.obs
         self.transport = transport
         self._replies: dict[str, tuple[str, dict]] = {}
 
@@ -547,6 +560,14 @@ class _PbsDepositService:
     def submit(self, rid: str, signature, sp_key: tuple[int, int],
                jo_key: tuple[int, int]) -> str:
         """One deposit attempt; returns the verdict status."""
+        tracer = self.obs.tracer
+        with tracer.span("submit",
+                         trace=obs.trace_id(rid) if tracer.enabled else None,
+                         kind="pbs-deposit"):
+            return self._submit(rid, signature, sp_key, jo_key)
+
+    def _submit(self, rid: str, signature, sp_key: tuple[int, int],
+                jo_key: tuple[int, int]) -> str:
         delivered = self.transport.send(
             "SP", "MA-pbs", "deposit",
             {"sig": signature, "sp_key": list(sp_key), "jo_key": list(jo_key)},
@@ -576,10 +597,12 @@ class _PbsDepositService:
         return self._finish(rid, "OK", {})
 
     def _finish(self, rid: str, status: str, body: dict) -> str:
-        self.journal.append("reply", rid, "pbs-deposit",
-                            {"status": status, "body": body})
-        self._replies[rid] = (status, body)
-        self.transport.send("MA-pbs", "SP", "reply", {"status": status, **body})
+        with self.obs.tracer.span("reply", status=status):
+            self.journal.append("reply", rid, "pbs-deposit",
+                                {"status": status, "body": body})
+            self._replies[rid] = (status, body)
+            self.transport.send("MA-pbs", "SP", "reply",
+                                {"status": status, **body})
         return status
 
 
@@ -617,6 +640,7 @@ def run_pbs_scenario(
     *,
     kit: PbsKit | None = None,
     checkpoint_every: int = 3,
+    telemetry: "obs.Telemetry | None" = None,
 ) -> ScenarioResult:
     """Replay the kit's unitary deposits under *plan*; verify everything."""
     if isinstance(plan, int):
@@ -624,7 +648,7 @@ def run_pbs_scenario(
     if kit is None:
         kit = build_pbs_kit(random.Random(f"pbs-kit:{plan.seed}"))
     result = ScenarioResult(name="ppms-pbs", plan=plan)
-    journal = Journal()
+    journal = Journal(telemetry=telemetry)
     clock = FaultClock(plan.crash_points)
     checkpoint: Checkpoint | None = None
     findings: list[str] = []

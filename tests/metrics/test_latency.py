@@ -7,6 +7,7 @@ import pytest
 from repro.metrics.latency import (
     LatencyRecorder,
     SLOTarget,
+    _nearest_rank,
     _quantile,
     format_latency_report,
 )
@@ -30,6 +31,46 @@ class TestQuantile:
             _quantile([], 0.5)
         with pytest.raises(ValueError):
             _quantile([1.0], 1.5)
+
+
+class TestNearestRank:
+    def test_returns_an_order_statistic(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        # ceil(q*n)-th sample, 1-indexed
+        assert _nearest_rank(data, 0.0) == 1.0
+        assert _nearest_rank(data, 0.25) == 1.0
+        assert _nearest_rank(data, 0.26) == 2.0
+        assert _nearest_rank(data, 0.5) == 2.0
+        assert _nearest_rank(data, 0.99) == 4.0
+        assert _nearest_rank(data, 1.0) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _nearest_rank([], 0.5)
+        with pytest.raises(ValueError):
+            _nearest_rank([1.0], -0.1)
+
+    def test_small_sample_tail_is_the_observed_worst_case(self):
+        # the regression this guards: interpolation on 10 samples
+        # reported p99 = 0.059 — a latency NO request experienced —
+        # where the honest answer is the slowest observation
+        recorder = LatencyRecorder()
+        for v in [0.010] * 9 + [0.500]:
+            recorder.record(v)
+        report = recorder.report()
+        assert report.p99 == 0.500  # rank ceil(0.99*10) = 10th sample
+        assert report.p95 == 0.500  # rank ceil(0.95*10) = 10th sample
+        assert report.p50 == 0.010  # rank ceil(0.50*10) = 5th sample
+        assert report.p99 in recorder._samples
+
+    def test_large_samples_keep_interpolation(self):
+        recorder = LatencyRecorder()
+        for i in range(100):
+            recorder.record(float(i + 1))
+        report = recorder.report()
+        # 100 samples: the interpolated path, pos = 0.99 * 99 = 98.01
+        assert report.p99 == pytest.approx(99.01)
+        assert report.p50 == pytest.approx(50.5)
 
 
 class TestRecorder:

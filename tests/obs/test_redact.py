@@ -1,0 +1,90 @@
+"""The redaction policy: allowlist semantics, digests, trace ids."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import redact
+from repro.obs.redact import (
+    DROP_KEYS,
+    SAFE_KEYS,
+    RedactionPolicy,
+    hash_value,
+    trace_id,
+)
+
+
+@pytest.fixture()
+def pinned_salt():
+    previous = redact.configure(salt=b"test-salt")
+    yield
+    redact.configure(salt=previous)
+
+
+def test_safe_keys_pass_scalars_verbatim():
+    policy = RedactionPolicy()
+    attrs = {"kind": "deposit", "seq": 7, "batch": 4, "dedup": True}
+    assert policy.scrub(attrs) == attrs
+
+
+def test_drop_keys_vanish_entirely():
+    policy = RedactionPolicy()
+    out = policy.scrub({"token": object(), "signature": b"\x01\x02", "kind": "x"})
+    assert out == {"kind": "x"}
+
+
+def test_unknown_keys_are_hashed(pinned_salt):
+    policy = RedactionPolicy()
+    out = policy.scrub({"sender": "sp0"})
+    assert out["sender"].startswith("#")
+    assert len(out["sender"]) == 13
+    assert "sp0" not in out["sender"]
+    # stable within a (salted) run: the operator can correlate senders
+    assert out["sender"] == hash_value("sp0")
+
+
+def test_safe_key_with_oversized_value_is_hashed():
+    policy = RedactionPolicy()
+    blob = "x" * 200
+    out = policy.scrub({"status": blob})
+    assert out["status"].startswith("#") and blob not in out["status"]
+
+
+def test_safe_key_with_container_value_is_hashed():
+    policy = RedactionPolicy()
+    out = policy.scrub({"count": [1, 2, 3]})
+    assert out["count"].startswith("#")
+
+
+def test_salt_changes_digests():
+    first = redact.configure(salt=b"salt-one")
+    try:
+        one = hash_value("sp0")
+        redact.configure(salt=b"salt-two")
+        two = hash_value("sp0")
+        assert one != two
+    finally:
+        redact.configure(salt=first)
+
+
+def test_hash_value_distinguishes_types(pinned_salt):
+    # b"1", "1" and 1 must not collide via a sloppy canonicalization
+    assert len({hash_value(b"1"), hash_value("1"), hash_value(1)}) == 3
+    assert hash_value(True) != hash_value(1)
+
+
+def test_trace_id_deterministic_and_opaque(pinned_salt):
+    rid = "sp0:auto:17"
+    tid = trace_id(rid)
+    assert tid == trace_id(rid)  # every layer derives the same id
+    assert tid.startswith("t") and len(tid) == 17
+    assert "sp0" not in tid and "auto" not in tid
+
+
+def test_key_sets_are_disjoint():
+    assert not (SAFE_KEYS & DROP_KEYS)
+
+
+def test_configure_rejects_empty_salt():
+    with pytest.raises(ValueError):
+        redact.configure(salt=b"")

@@ -1,0 +1,185 @@
+"""Tracer mechanics: context stack, explicit clock, ring, export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import NOOP_SPAN, RedactionPolicy, Tracer
+
+
+class FakeClock:
+    """Deterministic clock advancing one tick per read."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def test_disabled_tracer_returns_the_shared_noop_span():
+    tracer = Tracer(enabled=False)
+    span = tracer.span("submit", kind="deposit")
+    assert span is NOOP_SPAN
+    assert tracer.span("other") is span  # same object, no allocation
+    with span as s:
+        s.set(anything="goes")
+    assert tracer.records() == []
+
+
+def test_span_records_name_times_and_attrs():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("submit", kind="deposit") as span:
+        span.set(seq=3)
+    (record,) = tracer.records()
+    assert record.name == "submit"
+    assert record.start == 1.0 and record.end == 2.0
+    assert record.duration == 1.0
+    assert record.attrs == {"kind": "deposit", "seq": 3}
+
+
+def test_nested_spans_share_trace_and_parent():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("submit", trace="t1") as outer:
+        assert tracer.current_trace() == "t1"
+        with tracer.span("admission"):
+            pass
+    inner, root = tracer.records()
+    assert inner.trace == root.trace == "t1"
+    assert inner.parent == root.span_id == outer.span_id
+    assert root.parent is None
+
+
+def test_explicit_trace_does_not_parent_across_traces():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("submit", trace="t1"):
+        with tracer.span("batch_flush", trace="batcher"):
+            pass
+    flush, _submit = tracer.records()
+    assert flush.trace == "batcher"
+    assert flush.parent is None
+
+
+def test_stackless_span_starts_a_background_trace():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("recover"):
+        pass
+    with tracer.span("mint"):
+        pass
+    first, second = tracer.records()
+    assert first.trace != second.trace
+    assert first.trace.startswith("bg")
+
+
+def test_exception_inside_span_still_records_it():
+    tracer = Tracer(clock=FakeClock())
+    with pytest.raises(RuntimeError):
+        with tracer.span("apply", trace="t1"):
+            with tracer.span("shard_apply"):
+                raise RuntimeError("boom")
+    names = [r.name for r in tracer.records()]
+    assert names == ["shard_apply", "apply"]
+    assert tracer._stack == []  # nothing leaked on the context stack
+
+
+def test_emit_records_an_already_timed_span():
+    tracer = Tracer(clock=FakeClock())
+    tracer.emit("verify_spend", trace="t9", start=5.0, end=7.5, batch=4)
+    (record,) = tracer.records()
+    assert record.trace == "t9"
+    assert record.start == 5.0 and record.end == 7.5
+    assert record.attrs == {"batch": 4}
+
+
+def test_ring_buffer_keeps_newest_and_counts_drops():
+    tracer = Tracer(clock=FakeClock(), capacity=3)
+    for i in range(5):
+        tracer.emit(f"s{i}", trace="t", start=float(i), end=float(i) + 0.5)
+    assert len(tracer) == 3
+    assert tracer.dropped == 2
+    assert [r.name for r in tracer.records()] == ["s2", "s3", "s4"]
+
+
+def test_attributes_pass_the_redaction_gate_at_record_time():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("submit", trace="t1", sender="sp0", token=b"raw"):
+        pass
+    (record,) = tracer.records()
+    assert "token" not in record.attrs
+    assert record.attrs["sender"].startswith("#")
+
+
+def test_custom_policy_is_honoured():
+    policy = RedactionPolicy(safe_keys={"sender"}, drop_keys=set())
+    tracer = Tracer(clock=FakeClock(), policy=policy)
+    with tracer.span("submit", trace="t1", sender="sp0"):
+        pass
+    (record,) = tracer.records()
+    assert record.attrs["sender"] == "sp0"
+
+
+def test_export_is_valid_chrome_trace_json():
+    clock = FakeClock()
+    tracer = Tracer(clock=clock)
+    with tracer.span("submit", trace="t1", kind="deposit"):
+        with tracer.span("admission"):
+            pass
+    tracer.emit("batch_flush", trace="batcher", start=clock.now,
+                end=clock.now + 1.0, batch=2)
+    text = tracer.export_jsonl()
+    events = json.loads(text)  # the whole string is one JSON array
+    assert all(e["ph"] in ("X", "M") for e in events)
+    metas = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    # one thread-name lane per trace id
+    assert {m["args"]["name"] for m in metas} == {"t1", "batcher"}
+    assert len({m["tid"] for m in metas}) == 2
+    for event in spans:
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        assert event["cat"] == "repro"
+    # line-oriented: one event per line inside the array brackets
+    lines = text.strip().splitlines()
+    assert lines[0] == "[" and lines[-1] == "]"
+    assert len(lines) == len(events) + 2
+
+
+def test_export_empty_tracer_is_valid_json():
+    assert json.loads(Tracer().export_jsonl()) == []
+
+
+def test_dump_writes_loadable_file(tmp_path):
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("submit", trace="t1"):
+        pass
+    path = tmp_path / "trace.json"
+    tracer.dump(path)
+    assert json.loads(path.read_text())
+
+
+def test_finish_with_explicit_end_overrides_clock():
+    tracer = Tracer(clock=FakeClock())
+    span = tracer.span("submit", trace="t1")
+    span.finish(end=99.0)
+    (record,) = tracer.records()
+    assert record.end == 99.0
+
+
+def test_double_finish_records_once():
+    tracer = Tracer(clock=FakeClock())
+    span = tracer.span("submit", trace="t1")
+    span.finish()
+    span.finish()
+    assert len(tracer.records()) == 1
+
+
+def test_clear_resets_ring_and_drop_counter():
+    tracer = Tracer(clock=FakeClock(), capacity=1)
+    tracer.emit("a", trace="t", start=0.0, end=1.0)
+    tracer.emit("b", trace="t", start=1.0, end=2.0)
+    tracer.clear()
+    assert len(tracer) == 0 and tracer.dropped == 0

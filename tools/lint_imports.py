@@ -28,22 +28,25 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 #: package -> packages it may import at module level (itself always allowed)
 ALLOWED: dict[str, set[str]] = {
     "_util": set(),
+    # telemetry is observed *by* every layer, so it may depend on none
+    # of them (in particular: obs must never import service)
+    "obs": set(),
     "crypto": {"_util"},
     "ecash": {"crypto", "net"},
     "net": {"crypto", "ecash", "metrics"},
-    "metrics": {"attacks", "core", "crypto", "ecash"},
+    "metrics": {"attacks", "core", "crypto", "ecash", "obs"},
     "core": {"crypto", "ecash", "metrics", "net"},
     "attacks": {"core", "crypto", "ecash", "net"},
     "workloads": {"net"},
     "sim": {"attacks", "core"},
-    "service": {"core", "crypto", "ecash", "metrics", "net"},
+    "service": {"core", "crypto", "ecash", "metrics", "net", "obs"},
     # the fault harness drives the whole stack, so it sits above it
-    "testing": {"core", "crypto", "ecash", "net", "service"},
+    "testing": {"core", "crypto", "ecash", "net", "obs", "service"},
     "cli": {"attacks", "core", "crypto", "ecash", "metrics"},
     # the root package re-exports everything
     "(root)": {
         "_util", "attacks", "cli", "core", "crypto", "ecash", "metrics",
-        "net", "service", "sim", "testing", "workloads",
+        "net", "obs", "service", "sim", "testing", "workloads",
     },
 }
 
