@@ -29,6 +29,7 @@ by :mod:`benchmarks.bench_fastexp`.
 
 from __future__ import annotations
 
+import os
 import random
 import time
 
@@ -43,6 +44,7 @@ from repro.service import (
     MarketService,
     ShardedBank,
     VerificationBatcher,
+    make_backend,
 )
 from repro.service.loadgen import mint_deposit_traffic, run_trace
 
@@ -76,7 +78,7 @@ def service_workload(bench_rng):
 
 
 def _make_service(workload, *, n_shards, max_batch, pairing_batch,
-                  admission=None, telemetry=None) -> MarketService:
+                  admission=None, telemetry=None, backend=None) -> MarketService:
     params, keypair, book, _, _ = workload
     bank = ShardedBank(params, keypair, random.Random(3), n_shards=n_shards)
     for aid, balance in book.accounts.items():
@@ -86,6 +88,7 @@ def _make_service(workload, *, n_shards, max_batch, pairing_batch,
     batcher = VerificationBatcher(
         params, keypair, max_batch=max_batch, processes=1,
         pairing_batch=pairing_batch, seed=5, warm_tables=False,
+        backend=backend,
     )
     return MarketService(
         bank, batcher=batcher,
@@ -145,6 +148,71 @@ def test_sharded_batched_deposits_2x(benchmark, service_workload):
         f"batched configuration reached only {speedup:.2f}x over "
         f"single-shard batch-1 (required {REQUIRED_SPEEDUP}x)"
     )
+
+
+#: worker counts for the scaling curve; the 4-vs-1 ratio is asserted
+WORKER_COUNTS = (1, 2, 4)
+#: required verify-throughput ratio, 4 workers vs 1 (multicore hosts)
+REQUIRED_WORKER_SPEEDUP = 2.0
+
+
+def test_worker_scaling_curve(benchmark, service_workload):
+    """Process-pool scaling: deposit throughput at 1/2/4 workers.
+
+    Verification is pure bigint arithmetic dispatched through
+    :func:`repro.service.make_backend`, so on a multicore host four
+    workers must clear **2×** the single-worker throughput.  The
+    assertion is gated on ``os.cpu_count() >= 4`` — on smaller hosts
+    (CI runners included) the curve is still measured and recorded in
+    ``extra_info``, it just cannot be expected to scale.  Pools are
+    spawned (and their tables warmed) *outside* the timed region:
+    steady-state throughput is the quantity, not cold start.
+    """
+    params, keypair, _, requests, _ = service_workload
+    previous = fastexp.configure(enabled=False)
+    fastexp.reset()
+    walls: dict[int, float] = {}
+    try:
+        for n in WORKER_COUNTS:
+            backend = make_backend(params, keypair.public, processes=n)
+            try:
+                if getattr(backend, "workers", 1) != n and n > 1:
+                    pytest.skip(f"host cannot spawn a {n}-process pool")
+                if n == max(WORKER_COUNTS):
+                    last = benchmark.pedantic(
+                        lambda: _replay(service_workload, backend=backend,
+                                        **BATCHED),
+                        rounds=2, iterations=1,
+                    )
+                    walls[n] = (benchmark.stats.stats.min
+                                if benchmark.stats is not None else last)
+                else:
+                    walls[n] = min(
+                        _replay(service_workload, backend=backend, **BATCHED)
+                        for _ in range(2)
+                    )
+            finally:
+                backend.close()
+    finally:
+        fastexp.configure(**previous)
+        fastexp.reset()
+
+    curve = {
+        f"throughput_rps_{n}w": round(N_DEPOSITS / wall, 2)
+        for n, wall in walls.items()
+    }
+    speedup_4v1 = walls[1] / walls[max(WORKER_COUNTS)]
+    benchmark.extra_info.update(
+        BATCHED, deposits=N_DEPOSITS, cpu_count=os.cpu_count(),
+        worker_counts=list(WORKER_COUNTS),
+        speedup_4v1=round(speedup_4v1, 3), **curve,
+    )
+    if (os.cpu_count() or 1) >= max(WORKER_COUNTS):
+        assert speedup_4v1 >= REQUIRED_WORKER_SPEEDUP, (
+            f"4-worker pool reached only {speedup_4v1:.2f}x over one "
+            f"worker on a {os.cpu_count()}-core host "
+            f"(required {REQUIRED_WORKER_SPEEDUP}x)"
+        )
 
 
 #: tracing-on may cost at most this fraction over toggles-off

@@ -24,7 +24,13 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-__all__ = ["SweepPoint", "sweep", "default_processes"]
+__all__ = [
+    "SweepPoint",
+    "sweep",
+    "sweep_points",
+    "default_processes",
+    "env_processes",
+]
 
 
 @dataclass(frozen=True)
@@ -36,13 +42,14 @@ class SweepPoint:
     params: Any
 
 
-def default_processes() -> int:
-    """A sensible worker count: physical-ish cores, at least 1.
+def env_processes(default: int | None = None) -> int | None:
+    """The ``REPRO_PROCESSES`` override, or *default* when unset/invalid.
 
-    A ``REPRO_PROCESSES`` environment variable overrides the heuristic —
-    the 1-core bench VM and CI use it to force serial (or deliberately
-    oversubscribed) runs without code edits.  Non-positive or
-    non-numeric values are ignored.
+    This is the one place the environment variable is parsed — the
+    sweep heuristic, the verification worker pool and the service test
+    fixtures all resolve their worker counts through it, so one env
+    knob pins every pool in the process.  Non-positive or non-numeric
+    values are ignored.
     """
     override = os.environ.get("REPRO_PROCESSES", "").strip()
     if override:
@@ -52,7 +59,34 @@ def default_processes() -> int:
             n = 0
         if n >= 1:
             return n
+    return default
+
+
+def default_processes() -> int:
+    """A sensible worker count: physical-ish cores, at least 1.
+
+    A ``REPRO_PROCESSES`` environment variable overrides the heuristic —
+    the 1-core bench VM and CI use it to force serial (or deliberately
+    oversubscribed) runs without code edits.
+    """
+    override = env_processes()
+    if override is not None:
+        return override
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+def sweep_points(grid: Sequence[Any], seed: int = 0) -> list[SweepPoint]:
+    """The grid as seeded :class:`SweepPoint`\\ s (deterministic per point).
+
+    Factored out so every dispatch backend — the in-process loop here,
+    and the persistent :mod:`repro.service.workers` pool — derives
+    bit-identical per-point seeds from the same ``(seed, index)`` pair;
+    results then never depend on *which* executor ran the grid.
+    """
+    return [
+        SweepPoint(index=i, seed=(seed * 1_000_003 + i * 7919) & 0x7FFFFFFF, params=p)
+        for i, p in enumerate(grid)
+    ]
 
 
 def sweep(
@@ -69,10 +103,7 @@ def sweep(
     ``seed`` is unique and deterministic per point.  Results come back
     in grid order.  Exceptions in workers propagate to the caller.
     """
-    points = [
-        SweepPoint(index=i, seed=(seed * 1_000_003 + i * 7919) & 0x7FFFFFFF, params=p)
-        for i, p in enumerate(grid)
-    ]
+    points = sweep_points(grid, seed)
     n_proc = processes if processes is not None else default_processes()
     if n_proc <= 1 or len(points) <= 1:
         return [worker(point) for point in points]

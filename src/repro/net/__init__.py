@@ -8,6 +8,15 @@ from repro.net import registry as _registry  # noqa: F401  (side-effect import)
 from repro.net.codec import decode, encode, encoded_size, register
 from repro.net.mix import MixNetwork, MixObservation
 from repro.net.transport import Envelope, Transport
+from repro.net.wire import (
+    MAX_FRAME,
+    FrameDecoder,
+    WireError,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
 
 __all__ = [
     "encode",
@@ -18,4 +27,11 @@ __all__ = [
     "Envelope",
     "MixNetwork",
     "MixObservation",
+    "WireError",
+    "FrameDecoder",
+    "MAX_FRAME",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
 ]

@@ -1,0 +1,193 @@
+"""Length-prefixed wire framing for the canonical codec.
+
+The simulated :class:`~repro.net.transport.Transport` hands decoded
+copies around inside one process; a real network peer needs *frames* —
+a way to find message boundaries in a byte stream and to reject a
+damaged message before any of it is acted on.  This module frames the
+existing canonical codec over any byte stream (the socket front-end in
+:mod:`repro.service.frontend` is the first consumer):
+
+``frame := MAGIC(4) | length u32 | crc32 u32 | payload``
+
+* **MAGIC** (``b"RPW1"``) pins protocol + version; a peer speaking
+  anything else fails on the first four bytes instead of misparsing.
+* **length** is the payload byte count, capped at :data:`MAX_FRAME` —
+  an oversized (or corrupted-to-oversized) prefix is rejected *before*
+  any buffering, so a hostile 2 GiB announcement costs nothing.
+* **crc32** covers the payload.  The codec alone cannot detect every
+  single-byte corruption (flipping a digit inside an int yields a
+  different valid int); the checksum makes any bit damage a loud
+  :class:`WireError`, never a silently different value.  It is an
+  integrity check against *accidents* only — authenticity is the
+  protocol layer's job (signatures, proofs), not the framing's.
+
+Decoding is incremental and torn-tolerant: :class:`FrameDecoder`
+buffers partial frames across ``feed()`` calls and only yields whole,
+checksum-verified, codec-decoded values.  A frame is therefore applied
+completely or not at all — there is no partial-apply window.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Iterator
+
+from repro.net.codec import decode, encode
+
+__all__ = [
+    "WireError",
+    "MAGIC",
+    "HEADER_SIZE",
+    "MAX_FRAME",
+    "encode_frame",
+    "decode_frame",
+    "FrameDecoder",
+    "read_frame",
+    "write_frame",
+]
+
+MAGIC = b"RPW1"
+_HEADER = struct.Struct(">4sII")  # magic, payload length, payload crc32
+HEADER_SIZE = _HEADER.size
+
+#: Hard cap on one frame's payload.  Generous for this protocol (the
+#: largest message is a spend token, a few KiB); small enough that a
+#: corrupted length prefix can never make a peer buffer gigabytes.
+MAX_FRAME = 1 << 24  # 16 MiB
+
+
+class WireError(ValueError):
+    """A frame violated the wire format (bad magic/length/checksum/codec)."""
+
+
+def encode_frame(value: Any) -> bytes:
+    """One complete frame for *value* (canonical codec + header)."""
+    payload = encode(value)
+    if len(payload) > MAX_FRAME:
+        raise WireError(f"payload of {len(payload)} bytes exceeds MAX_FRAME")
+    return _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+
+def _parse_header(header: bytes) -> tuple[int, int]:
+    magic, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME:
+        raise WireError(f"frame length {length} exceeds MAX_FRAME ({MAX_FRAME})")
+    return length, crc
+
+
+def _decode_payload(payload: bytes, crc: int) -> Any:
+    if zlib.crc32(payload) != crc:
+        raise WireError("frame checksum mismatch")
+    try:
+        return decode(payload)
+    except WireError:
+        raise
+    except ValueError as exc:
+        raise WireError(f"frame payload does not decode: {exc}") from exc
+
+
+def decode_frame(data: bytes) -> tuple[Any, int]:
+    """Decode one *complete* frame at the head of *data*.
+
+    Returns ``(value, bytes_consumed)``.  Raises :class:`WireError` on
+    any violation, including a frame that claims more bytes than *data*
+    holds — the strict form used when the whole message is already in
+    hand (tests, files).  For streams, use :class:`FrameDecoder`.
+    """
+    if len(data) < HEADER_SIZE:
+        raise WireError("truncated frame header")
+    length, crc = _parse_header(data[:HEADER_SIZE])
+    end = HEADER_SIZE + length
+    if len(data) < end:
+        raise WireError(
+            f"truncated frame: header promises {length} payload bytes, "
+            f"{len(data) - HEADER_SIZE} present"
+        )
+    return _decode_payload(data[HEADER_SIZE:end], crc), end
+
+
+class FrameDecoder:
+    """Incremental frame parser for a byte stream.
+
+    ``feed()`` bytes as they arrive (in any fragmentation); iterate
+    :meth:`frames` for every value completed so far.  Partial frames
+    stay buffered; format violations raise :class:`WireError` as early
+    as the header allows and poison the decoder (a byte stream is
+    unsynchronized after damage — the connection must be dropped).
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._poisoned: WireError | None = None
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward an incomplete frame."""
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> None:
+        if self._poisoned is not None:
+            raise self._poisoned
+        self._buf += data
+
+    def frames(self) -> Iterator[Any]:
+        """Yield every complete value buffered; keep the torn tail."""
+        if self._poisoned is not None:
+            raise self._poisoned
+        while True:
+            if len(self._buf) < HEADER_SIZE:
+                return
+            try:
+                length, crc = _parse_header(bytes(self._buf[:HEADER_SIZE]))
+                end = HEADER_SIZE + length
+                if len(self._buf) < end:
+                    return
+                value = _decode_payload(bytes(self._buf[HEADER_SIZE:end]), crc)
+            except WireError as exc:
+                self._poisoned = exc
+                raise
+            del self._buf[:end]
+            yield value
+
+
+def write_frame(sock, value: Any) -> int:
+    """Frame *value* onto a socket; returns the bytes sent."""
+    frame = encode_frame(value)
+    sock.sendall(frame)
+    return len(frame)
+
+
+def _recv_exact(sock, n: int) -> bytes | None:
+    """Exactly *n* bytes from *sock*; ``None`` on clean EOF at a frame
+    boundary; :class:`WireError` on EOF mid-frame."""
+    chunks = bytearray()
+    while len(chunks) < n:
+        chunk = sock.recv(n - len(chunks))
+        if not chunk:
+            if not chunks:
+                return None
+            raise WireError(
+                f"connection closed mid-frame ({len(chunks)}/{n} bytes)"
+            )
+        chunks += chunk
+    return bytes(chunks)
+
+
+def read_frame(sock) -> Any:
+    """Read one complete frame from a socket.
+
+    Returns the decoded value, or ``None`` on a clean EOF *between*
+    frames.  EOF inside a frame — the mid-frame disconnect case — is a
+    :class:`WireError`, never a hang or a partially-applied message.
+    """
+    header = _recv_exact(sock, HEADER_SIZE)
+    if header is None:
+        return None
+    length, crc = _parse_header(header)
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:
+        raise WireError("connection closed before frame payload")
+    return _decode_payload(payload, crc)

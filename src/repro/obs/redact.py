@@ -77,6 +77,10 @@ SAFE_KEYS: frozenset[str] = frozenset(
         "cache",      # fastexp cache name
         "dedup",
         "admitted",
+        "worker",     # dense verify-pool worker index (never a pid)
+        "workers",    # verify-pool size
+        "fallback",   # pool dispatch degraded to inline
+
     }
 )
 

@@ -7,8 +7,11 @@ the shape that party takes when it must serve heavy traffic —
 parallelizes the crypto, :class:`~repro.service.server.MarketService`
 runs the accept→admit→batch→apply loop with
 :class:`~repro.service.admission.AdmissionController` shedding
-overload, and :mod:`~repro.service.loadgen` drives the whole stack
-from the workload layer and reports latency SLOs.
+overload, :mod:`~repro.service.workers` fans verification across a
+persistent process pool, :mod:`~repro.service.frontend` serves the
+whole thing over TCP (length-prefixed :mod:`repro.net.wire` frames),
+and :mod:`~repro.service.loadgen` drives the stack — in-process or
+over real sockets — from the workload layer and reports latency SLOs.
 
 See ``docs/service.md`` for the architecture and the knobs.
 """
@@ -28,9 +31,22 @@ from repro.service.batcher import (
     WithdrawJob,
     WithdrawOutcome,
 )
-from repro.service.loadgen import LoadReport, Request, mint_deposit_traffic, run_trace
+from repro.service.frontend import ServiceClient, ServiceFrontend
+from repro.service.loadgen import (
+    LoadReport,
+    Request,
+    mint_deposit_traffic,
+    run_socket_trace,
+    run_trace,
+)
 from repro.service.server import Completion, MarketService, RequestFailure, SERVICE
 from repro.service.shard import ShardedBank, account_shard, serial_shard
+from repro.service.workers import (
+    InlineBackend,
+    PooledBackend,
+    VerificationBackend,
+    make_backend,
+)
 
 __all__ = [
     "AdmissionController",
@@ -57,4 +73,11 @@ __all__ = [
     "Request",
     "mint_deposit_traffic",
     "run_trace",
+    "run_socket_trace",
+    "ServiceFrontend",
+    "ServiceClient",
+    "VerificationBackend",
+    "InlineBackend",
+    "PooledBackend",
+    "make_backend",
 ]

@@ -11,10 +11,12 @@ exploits both properties:
   the first CL pairing equation of *n* tokens into two multi-scalar
   pairings instead of ``2n``.
 * **Process-pool dispatch** — batches are split into per-worker chunks
-  and mapped through :func:`repro.metrics.parallel.sweep`, inheriting
-  its guarantees: per-chunk deterministic seeds (results independent of
-  worker scheduling) and ``processes=1`` bypassing multiprocessing
-  entirely (the test-suite/profiling path).
+  and handed to a :class:`~repro.service.workers.VerificationBackend`:
+  inline for one worker (the test-suite/profiling path), the
+  persistent warm pool of :class:`~repro.service.workers.PooledBackend`
+  for many.  Chunk seeds come from
+  :func:`repro.metrics.parallel.sweep_points` either way, so outcomes
+  are bit-identical regardless of backend or worker scheduling.
 
 The batcher only does the *pure* part — verification verdicts, leaf-
 serial expansion, signature issuance.  All state mutation (conflict
@@ -42,7 +44,8 @@ from repro.ecash.spend import (
     warm_verification_tables,
 )
 from repro.ecash.tree import leaf_serials
-from repro.metrics.parallel import SweepPoint, sweep
+from repro.metrics.parallel import SweepPoint
+from repro.service.workers import InlineBackend, VerificationBackend, make_backend
 
 __all__ = [
     "DepositJob",
@@ -151,6 +154,7 @@ class VerificationBatcher:
         seed: int = 0,
         warm_tables: bool = True,
         telemetry: "obs.Telemetry | None" = None,
+        backend: VerificationBackend | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -165,7 +169,18 @@ class VerificationBatcher:
             # the in-process ones) then never pay table-build cost
             warm_verification_tables(params, keypair.public)
         self.max_batch = max_batch
-        self.processes = processes
+        # an explicit backend wins; otherwise processes>1 builds the
+        # warm persistent pool (falling back to inline if the host
+        # cannot spawn processes) and processes=1 stays in-process
+        if backend is None:
+            backend = (
+                make_backend(params, keypair.public, processes=processes,
+                             telemetry=telemetry)
+                if processes > 1
+                else InlineBackend()
+            )
+        self.backend = backend
+        self.processes = backend.workers
         self.pairing_batch = pairing_batch
         self._pending: deque[DepositJob | WithdrawJob] = deque()
         self._flush_seed = seed
@@ -191,6 +206,10 @@ class VerificationBatcher:
 
     def __len__(self) -> int:
         return len(self._pending)
+
+    def close(self) -> None:
+        """Release the dispatch backend's worker pool (idempotent)."""
+        self.backend.close()
 
     @property
     def public_key(self) -> CLPublicKey:
@@ -260,8 +279,8 @@ class VerificationBatcher:
         tracer = self.obs.tracer
         traced = tracer.enabled
         t0 = tracer.clock() if traced else 0.0
-        chunk_results = sweep(
-            _batch_worker, grid, seed=self._flush_seed, processes=self.processes
+        chunk_results = self.backend.run(
+            _batch_worker, grid, seed=self._flush_seed
         )
         if traced:
             t1 = tracer.clock()

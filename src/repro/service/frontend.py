@@ -1,0 +1,346 @@
+"""TCP front-end: the market service as an actual network peer.
+
+Everything below :class:`~repro.service.server.MarketService` already
+speaks the canonical codec; this module puts that codec on real
+sockets using the length-prefixed frames of :mod:`repro.net.wire`, so
+``loadgen`` (or any client) can drive the service across a wire
+instead of by method call.
+
+Wire protocol — one request frame, one reply frame, pipelined::
+
+    request  {cid, kind, payload, sender?, rid?, now?}
+    reply    {cid, req, status, ...body}          (service verdicts)
+    reply    {cid?, status: "ERROR", error}       (front-end rejections)
+
+``cid`` is the client's correlation id, echoed verbatim on the reply;
+it exists because replies are *not* FIFO on the wire (a ``BUSY`` shed
+answers immediately while an earlier accepted deposit is still waiting
+for its batch).  ``rid`` is the service's exactly-once key, exactly as
+in-process.  ``now`` carries the simulated arrival clock for admission
+(the same two-clock discipline as :mod:`repro.service.loadgen`).
+
+Threading model — **one dispatcher owns the service**:
+
+* per-connection reader threads only parse frames
+  (:class:`~repro.net.wire.FrameDecoder`) and enqueue work; a torn or
+  corrupt frame poisons *only that connection* (best-effort ``ERROR``
+  frame, then close) — the mid-frame-disconnect tests hold this;
+* a single dispatcher thread drains the queue in arrival order,
+  submits a batch of requests to the (single-threaded)
+  ``MarketService``, steps it, and routes reply envelopes back to the
+  owning connection by service sequence number.  Submitting the whole
+  backlog before stepping is what lets requests from *different
+  connections* share one verification batch — the cross-core win of
+  the worker pool survives the wire.
+
+The front-end holds no bank state and makes no crypto decisions; it is
+a framing shim, so every correctness property (FIFO per sender,
+exactly-once by rid, parallel-verify/serial-apply) is inherited from
+the service unchanged.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+import repro.obs as obs
+from repro.net.wire import FrameDecoder, WireError, encode_frame, read_frame, write_frame
+from repro.service.server import MarketService
+
+__all__ = ["ServiceFrontend", "ServiceClient"]
+
+
+@dataclass
+class _Conn:
+    """One accepted client connection (reader thread + write lock)."""
+
+    sock: socket.socket
+    name: str
+    open: bool = True
+
+    def __post_init__(self) -> None:
+        self._wlock = threading.Lock()
+
+    def send(self, value: Any) -> bool:
+        """Best-effort framed send; ``False`` once the peer is gone."""
+        if not self.open:
+            return False
+        try:
+            with self._wlock:
+                self.sock.sendall(encode_frame(value))
+            return True
+        except (OSError, WireError):
+            self.close()
+            return False
+
+    def close(self) -> None:
+        if not self.open:
+            return
+        self.open = False
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+class ServiceFrontend:
+    """Serve a :class:`MarketService` over TCP.
+
+    ``port=0`` (the default) binds an OS-assigned port; read
+    :attr:`address` after :meth:`start`.  Use as a context manager or
+    call :meth:`close` — the listener, dispatcher and every live
+    connection are torn down; the service itself (and its worker pool)
+    belong to the caller.
+    """
+
+    def __init__(
+        self,
+        service: MarketService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        telemetry: "obs.Telemetry | None" = None,
+    ) -> None:
+        self.service = service
+        self.obs = telemetry if telemetry is not None else service.obs
+        self._listener = socket.create_server((host, port))
+        self.address: tuple[str, int] = self._listener.getsockname()[:2]
+        self._work: queue.Queue = queue.Queue()
+        self._conns: list[_Conn] = []
+        self._conns_lock = threading.Lock()
+        self._route: dict[int, tuple[_Conn, Any]] = {}  # seq -> (conn, cid)
+        self._reply_box: list[dict] = []
+        self._next_conn = 0
+        self._running = False
+        self._threads: list[threading.Thread] = []
+        self.served = 0
+        self.conn_errors = 0
+        registry = self.obs.registry
+        self._m_conns = registry.gauge(
+            "repro_frontend_connections", "live client connections"
+        )
+        self._m_frames = registry.counter(
+            "repro_frontend_frames_total", "request frames accepted"
+        )
+        self._m_conn_errors = registry.counter(
+            "repro_frontend_conn_errors_total",
+            "connections dropped for wire violations",
+        )
+        # the dispatcher is the only thread that touches the service;
+        # this observer therefore only fires on the dispatcher thread
+        service.transport.add_observer(self._capture_reply)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "ServiceFrontend":
+        if self._running:
+            return self
+        self._running = True
+        for target, name in ((self._accept_loop, "frontend-accept"),
+                             (self._dispatch_loop, "frontend-dispatch")):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def close(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._work.put(None)  # dispatcher sentinel
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            conn.close()
+        self._m_conns.set(0)
+
+    def __enter__(self) -> "ServiceFrontend":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reader side -------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                sock, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            conn = _Conn(sock=sock, name=f"conn{self._next_conn}")
+            self._next_conn += 1
+            with self._conns_lock:
+                self._conns.append(conn)
+                self._m_conns.set(len(self._conns))
+            thread = threading.Thread(
+                target=self._reader_loop, args=(conn,),
+                name=f"frontend-{conn.name}", daemon=True,
+            )
+            thread.start()
+
+    def _reader_loop(self, conn: _Conn) -> None:
+        decoder = FrameDecoder()
+        try:
+            while self._running and conn.open:
+                data = conn.sock.recv(65536)
+                if not data:
+                    if decoder.pending_bytes:
+                        # mid-frame disconnect: nothing of the torn
+                        # frame was enqueued, so nothing is half-applied
+                        raise WireError(
+                            f"connection closed mid-frame "
+                            f"({decoder.pending_bytes} bytes buffered)"
+                        )
+                    break
+                decoder.feed(data)
+                for request in decoder.frames():
+                    self._work.put(("request", conn, request))
+        except WireError as exc:
+            self.conn_errors += 1
+            self._m_conn_errors.inc()
+            conn.send({"status": "ERROR", "error": f"wire: {exc}"})
+        except OSError:
+            self.conn_errors += 1
+            self._m_conn_errors.inc()
+        finally:
+            conn.close()
+            with self._conns_lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+                self._m_conns.set(len(self._conns))
+
+    # -- dispatcher side ---------------------------------------------------
+    def _capture_reply(self, envelope) -> None:
+        if envelope.kind == "reply" and envelope.sender == self.service.name:
+            self._reply_box.append(envelope.payload)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._work.get()
+            if item is None:
+                return
+            batch = [item]
+            # greedily take the whole backlog (bounded by the batcher's
+            # coalescing window) so concurrent connections share a flush
+            limit = max(1, self.service.batcher.max_batch) - 1
+            while limit > 0:
+                try:
+                    extra = self._work.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:
+                    self._dispatch(batch)
+                    return
+                batch.append(extra)
+                limit -= 1
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[tuple[str, _Conn, Any]]) -> None:
+        for _tag, conn, request in batch:
+            self._submit_one(conn, request)
+        # flush + apply until every accepted request has answered;
+        # replies route back by seq as the observer captures them
+        self.service.drain()
+        self._flush_replies()
+
+    def _submit_one(self, conn: _Conn, request: Any) -> None:
+        if not isinstance(request, dict) or not isinstance(request.get("kind"), str):
+            conn.send({"cid": request.get("cid") if isinstance(request, dict) else None,
+                       "status": "ERROR", "error": "request must be a dict with a 'kind'"})
+            return
+        cid = request.get("cid")
+        sender = request.get("sender") or conn.name
+        rid = request.get("rid")
+        now = request.get("now", 0.0)
+        self._m_frames.inc()
+        try:
+            seq = self.service.submit(
+                sender, request["kind"], request.get("payload"),
+                now=float(now), rid=rid,
+            )
+        except Exception as exc:  # a malformed envelope poisons only itself
+            conn.send({"cid": cid, "status": "ERROR", "error": str(exc)})
+            return
+        self._route[seq] = (conn, cid)
+
+    def _flush_replies(self) -> None:
+        replies, self._reply_box = self._reply_box, []
+        for payload in replies:
+            seq = payload.get("req")
+            routed = self._route.pop(seq, None)
+            if routed is None:
+                continue  # a recovery-synthesized or duplicate reply
+            conn, cid = routed
+            if conn.send({"cid": cid, **payload}):
+                self.served += 1
+
+
+class ServiceClient:
+    """Blocking framed client for :class:`ServiceFrontend`.
+
+    :meth:`request` is the one-shot call-and-wait form.  For pipelined
+    traffic (the load generator) use :meth:`send` / :meth:`recv` from
+    separate threads — the front-end echoes each request's ``cid`` so
+    out-of-order replies correlate.
+    """
+
+    def __init__(self, address: tuple[str, int], *, sender: str | None = None,
+                 timeout: float | None = 30.0) -> None:
+        self.sock = socket.create_connection(address, timeout=timeout)
+        self.sender = sender
+        self._next_cid = 0
+        self._wlock = threading.Lock()
+
+    def send(self, kind: str, payload: Any, *, rid: str | None = None,
+             now: float = 0.0, sender: str | None = None) -> int:
+        """Frame one request without waiting; returns its ``cid``."""
+        with self._wlock:
+            cid = self._next_cid
+            self._next_cid += 1
+            request: dict[str, Any] = {"cid": cid, "kind": kind, "payload": payload,
+                                       "now": now}
+            effective = sender if sender is not None else self.sender
+            if effective is not None:
+                request["sender"] = effective
+            if rid is not None:
+                request["rid"] = rid
+            write_frame(self.sock, request)
+        return cid
+
+    def recv(self) -> dict:
+        """Next reply frame (any ``cid``); raises on EOF mid-stream."""
+        reply = read_frame(self.sock)
+        if reply is None:
+            raise WireError("server closed the connection")
+        return reply
+
+    def request(self, kind: str, payload: Any, *, rid: str | None = None,
+                now: float = 0.0, sender: str | None = None) -> dict:
+        """Send one request and wait for *its* reply."""
+        cid = self.send(kind, payload, rid=rid, now=now, sender=sender)
+        while True:
+            reply = self.recv()
+            if reply.get("cid") == cid:
+                return reply
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

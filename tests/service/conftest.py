@@ -12,7 +12,28 @@ import random
 
 import pytest
 
-from repro.service import MarketService, ShardedBank, VerificationBatcher
+from repro.metrics.parallel import env_processes
+from repro.service import MarketService, ShardedBank, VerificationBatcher, make_backend
+
+
+@pytest.fixture(scope="session")
+def service_backend(dec_params_toy):
+    """Verification backend honoring ``REPRO_PROCESSES``.
+
+    The CI worker matrix runs the service suite twice —
+    ``REPRO_PROCESSES=1`` (inline) and ``=4`` (pooled) — and this is
+    the hook that makes the second leg real: one warm pool shared
+    across the whole session (spawning per test would swamp the suite
+    in fork cost).  ``None`` means "use the batcher's inline default".
+    The parity suite guarantees both legs see identical bytes.
+    """
+    n = env_processes(1)
+    if n <= 1:
+        yield None
+        return
+    backend = make_backend(dec_params_toy, None, processes=n)
+    yield backend
+    backend.close()
 
 
 @pytest.fixture()
@@ -21,9 +42,10 @@ def sharded_bank(dec_params_toy, rng) -> ShardedBank:
 
 
 @pytest.fixture()
-def service(sharded_bank) -> MarketService:
+def service(sharded_bank, service_backend) -> MarketService:
     batcher = VerificationBatcher(
-        sharded_bank.params, sharded_bank.keypair, max_batch=8, seed=1
+        sharded_bank.params, sharded_bank.keypair, max_batch=8, seed=1,
+        backend=service_backend,
     )
     return MarketService(sharded_bank, batcher=batcher, rng=random.Random(5))
 
