@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install dev test bench bench-json service-bench fastexp-bench report examples lint-imports test-faults coverage obs-demo clean
+.PHONY: install dev test bench bench-json service-bench fastexp-bench report examples lint-imports test-faults coverage obs-demo cluster-demo cluster-smoke clean
 
 # Coverage floor enforced by `make coverage` and the CI coverage job.
 # Measured line coverage of src/repro under the full suite is ~96%;
@@ -51,6 +51,17 @@ coverage:
 obs-demo:
 	PYTHONPATH=src $(PYTHON) tools/obs_demo.py --out telemetry
 	$(PYTHON) tools/check_telemetry.py telemetry
+
+# Three-node sharded market administrator in one process: seeded
+# deposit trace, node killed mid-trace, slice adopted by its peer,
+# cluster-wide invariant sweep.  See docs/cluster.md.
+cluster-demo:
+	PYTHONPATH=src $(PYTHON) examples/cluster_market.py
+
+# The subprocess version CI runs: a genuine SIGKILL against one of
+# three node processes, then adoption + sweep.
+cluster-smoke:
+	$(PYTHON) tools/cluster_smoke.py
 
 report:
 	$(PYTHON) -m repro.cli report --out experiment_report.md

@@ -1,0 +1,338 @@
+"""One cluster node: a sliced market service plus its cluster plumbing.
+
+A :class:`ClusterNode` wires together, for one ring member:
+
+* a fresh :class:`~repro.service.server.MarketService` (its own
+  :class:`~repro.service.shard.ShardedBank`, journal, reply cache) that
+  owns this node's slice of the account space — sharding partitions
+  *state*; every node holds the same DEC parameters and CL issuing key,
+  so any node's verdicts verify under the one bank public key;
+* a :class:`~repro.service.frontend.ServiceFrontend` serving the slice
+  over the ordinary wire protocol (routers don't know nodes are sliced);
+* a :class:`~repro.cluster.replicate.ReplicaReceiver` that doubles as
+  the node's **control plane** — ping / map exchange / adopt / dump /
+  telemetry / shutdown frames ride the replication port — and stores
+  whatever the ring predecessor ships here;
+* a :class:`~repro.cluster.replicate.JournalShipper` streaming this
+  node's journal (synchronously, before replies) and checkpoints
+  (from the frontend's ``after_batch`` hook) to the ring successor.
+
+**Adoption** is the failover move: when a node dies, its designated
+peer replays the shipped checkpoint + journal tail through
+:meth:`MarketService.recover` — the same rid-idempotent machinery the
+single-node crash tests prove — and starts a second frontend serving
+the dead node's slice at a new address.  The cluster map then rebinds
+the dead node id to that address (version + 1); the ring, and with it
+every key's owner, never changes.
+
+:class:`LocalCluster` runs N nodes in one process (threads, ephemeral
+ports) — the fast harness the cluster test suite drives; the
+subprocess form lives in :mod:`repro.cluster.launcher`.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any
+
+import repro.obs as obs
+from repro.cluster.replicate import (
+    JournalShipper,
+    ReplicaReceiver,
+    journal_from_records,
+)
+from repro.cluster.ring import ClusterMap, DEFAULT_VNODES
+from repro.service.frontend import ServiceFrontend
+from repro.service.journal import Checkpoint, Journal
+from repro.service.server import MarketService
+from repro.service.shard import ShardedBank
+
+__all__ = ["ClusterNode", "LocalCluster"]
+
+
+class ClusterNode:
+    """One ring member: sliced service + frontend + replication endpoints."""
+
+    def __init__(self, node_id: str, params, keypair, *,
+                 n_shards: int = 4, host: str = "127.0.0.1",
+                 port: int = 0, replica_port: int = 0, seed: int = 0,
+                 checkpoint_every: int = 64,
+                 telemetry: "obs.Telemetry | None" = None) -> None:
+        self.id = node_id
+        self.params = params
+        self.keypair = keypair
+        self.n_shards = n_shards
+        self.host = host
+        self.checkpoint_every = checkpoint_every
+        self.telemetry = telemetry if telemetry is not None else obs.Telemetry.disabled()
+        self.telemetry.registry.gauge(
+            "repro_cluster_node_info", "cluster node identity", node=node_id,
+        ).set(1)
+        self._m_adoptions = self.telemetry.registry.counter(
+            "repro_cluster_adoptions_total", "slices adopted from dead peers",
+            node=node_id,
+        )
+
+        # the slice: in-memory journal — durability here is the *peer's*
+        # copy (shipped before any reply), which is exactly what a
+        # SIGKILL leaves behind; FileJournal can be slotted in for
+        # belt-and-braces local durability without changing anything else
+        self.journal = Journal(telemetry=self.telemetry)
+        bank = ShardedBank(params, keypair, random.Random(seed),
+                           n_shards=n_shards, journal=self.journal,
+                           telemetry=self.telemetry)
+        self.service = MarketService(bank, name=f"MA-{node_id}",
+                                     journal=self.journal,
+                                     telemetry=self.telemetry)
+        self.frontend = ServiceFrontend(self.service, host=host, port=port,
+                                        telemetry=self.telemetry).start()
+        self.receiver = ReplicaReceiver(host=host, port=replica_port,
+                                        control=self.control)
+        self.shipper: JournalShipper | None = None
+        self.map: ClusterMap | None = None
+        #: dead peer id -> (recovered service, its frontend)
+        self.adopted: dict[str, tuple[MarketService, ServiceFrontend]] = {}
+        self._lock = threading.Lock()
+        self.shutdown_requested = threading.Event()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Where this node's own slice answers requests."""
+        return self.frontend.address
+
+    @property
+    def replica_address(self) -> tuple[str, int]:
+        """Where peers ship state and operators send control frames."""
+        return self.receiver.address
+
+    def serving(self) -> list[str]:
+        """Every slice this node currently answers for (own + adopted)."""
+        with self._lock:
+            return [self.id, *self.adopted]
+
+    # -- replication out ---------------------------------------------------
+    def connect_shipper(self, peer: tuple[str, int]) -> None:
+        """Start streaming journal + checkpoints to *peer* (ring successor).
+
+        Called once the peer's receiver is listening; the shipper hangs
+        off the journal's append hook (records, synchronous) and the
+        frontend's ``after_batch`` hook (checkpoints, quiescent).
+        """
+        if self.shipper is not None:
+            raise RuntimeError(f"{self.id}: shipper already connected")
+        self.shipper = JournalShipper(self.id, peer,
+                                      checkpoint_every=self.checkpoint_every)
+        self.shipper.bind_checkpoints(self.service.checkpoint)
+        self.journal.add_observer(self.shipper.on_record)
+        self.frontend.after_batch = self._after_batch
+
+    def _after_batch(self) -> None:
+        if self.shipper is not None:
+            self.shipper.maybe_checkpoint()
+
+    # -- control plane -----------------------------------------------------
+    def control(self, frame: dict) -> dict:
+        """Answer one control frame (from the receiver or called directly)."""
+        kind = frame.get("type")
+        if kind == "ping":
+            return {"ok": True, "node": self.id, "serving": self.serving()}
+        if kind == "map":
+            state = self.map.to_state() if self.map is not None else None
+            return {"ok": True, "node": self.id, "map": state}
+        if kind == "set-map":
+            cmap = ClusterMap.from_state(frame["map"])
+            with self._lock:
+                # versions are monotonic; a racing stale push is ignored
+                if self.map is None or cmap.version > self.map.version:
+                    self.map = cmap
+                version = self.map.version
+            return {"ok": True, "node": self.id, "version": version}
+        if kind == "adopt":
+            return self.adopt(frame["node"])
+        if kind == "dump":
+            return {"ok": True, "node": self.id, "journals": self.dump_journals()}
+        if kind == "telemetry":
+            return {"ok": True, "node": self.id,
+                    "metrics": self.telemetry.registry.snapshot()}
+        if kind == "shutdown":
+            self.shutdown_requested.set()
+            return {"ok": True, "node": self.id}
+        return {"ok": False, "error": f"unknown control frame type {kind!r}"}
+
+    def adopt(self, dead: str) -> dict:
+        """Recover *dead*'s slice from shipped state; serve it here.
+
+        Waits for the dead peer's final in-flight bytes to drain (the
+        kernel delivers ``sendall``-ed data after a SIGKILL), then runs
+        checkpoint restore + rid-idempotent journal replay and opens a
+        fresh frontend for the slice.  Idempotent: a second adopt call
+        answers with the already-serving address.
+        """
+        with self._lock:
+            if dead in self.adopted:
+                _svc, front = self.adopted[dead]
+                return {"ok": True, "node": dead, "adopter": self.id,
+                        "address": list(front.address), "already": True}
+        if dead == self.id:
+            return {"ok": False, "error": "a node cannot adopt itself"}
+        slot = self.receiver.wait_drained(dead)
+        if slot.checkpoint is None and not slot.records:
+            return {"ok": False,
+                    "error": f"nothing shipped from {dead!r}; cannot adopt"}
+        ckpt = Checkpoint.from_bytes(slot.checkpoint) if slot.checkpoint else None
+        journal = journal_from_records(slot.records)
+        service = MarketService.recover(
+            self.params, self.keypair, journal, checkpoint=ckpt,
+            n_shards=self.n_shards, name=f"MA-{dead}",
+            telemetry=self.telemetry,
+        )
+        frontend = ServiceFrontend(service, host=self.host, port=0,
+                                   telemetry=self.telemetry).start()
+        with self._lock:
+            self.adopted[dead] = (service, frontend)
+        self._m_adoptions.inc()
+        return {"ok": True, "node": dead, "adopter": self.id,
+                "address": list(frontend.address),
+                "checkpoint_lsn": ckpt.lsn if ckpt else -1,
+                "records": len(slot.records)}
+
+    def dump_journals(self) -> dict[str, list[dict]]:
+        """Every served slice's journal, as record states (for the sweep)."""
+        dumps = {self.id: [r.to_state() for r in self.journal.records()]}
+        with self._lock:
+            adopted = dict(self.adopted)
+        for dead, (service, _front) in adopted.items():
+            dumps[dead] = [r.to_state() for r in service.journal.records()]
+        return dumps
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Graceful teardown (tests, clean shutdown — not the SIGKILL path)."""
+        if self.shipper is not None:
+            self.shipper.close()
+        self.frontend.close()
+        with self._lock:
+            adopted, self.adopted = dict(self.adopted), {}
+        for _dead, (_service, frontend) in adopted.items():
+            frontend.close()
+        self.receiver.close()
+
+    def kill(self) -> None:
+        """Abrupt in-process death: drop every socket, skip all draining.
+
+        The closest a thread-hosted node gets to SIGKILL — anything the
+        shipper already ``sendall``-ed survives in the peer's kernel
+        buffer, everything else (books, journal, reply cache) is simply
+        abandoned with the object.
+        """
+        if self.shipper is not None:
+            self.shipper.close()
+        self.frontend.close()
+        self.receiver.close()
+
+    def __enter__(self) -> "ClusterNode":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class LocalCluster:
+    """N cluster nodes in one process — the fast, test-friendly harness.
+
+    Builds the nodes, composes the version-0 :class:`ClusterMap` from
+    their ephemeral frontend ports, pushes it everywhere, and connects
+    each node's shipper to its ring successor.  ``kill`` + ``failover``
+    model the crash story without subprocesses; the launcher module
+    provides the real-SIGKILL equivalent.
+    """
+
+    def __init__(self, params, keypair, *, n_nodes: int = 3,
+                 n_shards: int = 4, vnodes: int = DEFAULT_VNODES,
+                 checkpoint_every: int = 64,
+                 telemetry_factory=None) -> None:
+        if n_nodes < 2:
+            raise ValueError("a cluster needs at least two nodes")
+        self.params = params
+        self.keypair = keypair
+        names = tuple(f"n{i}" for i in range(n_nodes))
+        self.nodes: dict[str, ClusterNode] = {}
+        for i, name in enumerate(names):
+            telemetry = telemetry_factory() if telemetry_factory else None
+            self.nodes[name] = ClusterNode(
+                name, params, keypair, n_shards=n_shards, seed=i,
+                checkpoint_every=checkpoint_every, telemetry=telemetry,
+            )
+        self.map = ClusterMap(
+            version=0, nodes=names,
+            addresses={n: self.nodes[n].address for n in names},
+            vnodes=vnodes,
+        )
+        self.dead: set[str] = set()
+        for node in self.nodes.values():
+            node.control({"type": "set-map", "map": self.map.to_state()})
+        for name in names:
+            peer = self.map.replica_peer(name)
+            self.nodes[name].connect_shipper(self.nodes[peer].replica_address)
+
+    def router(self, **kwargs):
+        """A :class:`ClusterRouter` over this cluster's live map."""
+        from repro.cluster.router import ClusterRouter
+
+        kwargs.setdefault("refresh", lambda: self.map)
+        return ClusterRouter(self.map, **kwargs)
+
+    def kill(self, name: str) -> None:
+        """Abruptly kill one node (no drain, no goodbye)."""
+        if name in self.dead:
+            return
+        self.dead.add(name)
+        self.nodes[name].kill()
+
+    def failover(self, dead: str) -> str:
+        """Have *dead*'s peer adopt its slice; publish the rebound map.
+
+        Returns the adopter's node id.  The new map (version + 1) is
+        pushed to every survivor, so any router refreshing off a live
+        node re-routes deterministically.
+        """
+        adopter = self.map.replica_peer(dead)
+        if adopter in self.dead:
+            raise RuntimeError(
+                f"designated peer {adopter!r} of {dead!r} is also dead; "
+                "re-replication after failover is out of scope"
+            )
+        result = self.nodes[adopter].adopt(dead)
+        if not result.get("ok"):
+            raise RuntimeError(f"adoption of {dead!r} failed: {result}")
+        self.map = self.map.rebind(dead, tuple(result["address"]))
+        for name, node in self.nodes.items():
+            if name not in self.dead:
+                node.control({"type": "set-map", "map": self.map.to_state()})
+        return adopter
+
+    def dump_journals(self) -> dict[str, list[dict]]:
+        """Per-slice journal record states across every live node."""
+        dumps: dict[str, list[dict]] = {}
+        for name, node in self.nodes.items():
+            if name in self.dead:
+                continue
+            dumps.update(node.dump_journals())
+        return dumps
+
+    def telemetry_snapshots(self) -> dict[str, dict]:
+        """Per-node metrics snapshots (feed for the merge tool)."""
+        return {name: node.telemetry.registry.snapshot()
+                for name, node in self.nodes.items() if name not in self.dead}
+
+    def close(self) -> None:
+        for name, node in self.nodes.items():
+            if name not in self.dead:
+                node.close()
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

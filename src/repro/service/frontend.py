@@ -41,17 +41,19 @@ the service unchanged.
 
 from __future__ import annotations
 
+import os
 import queue
 import socket
 import threading
+import time
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 import repro.obs as obs
 from repro.net.wire import FrameDecoder, WireError, encode_frame, read_frame, write_frame
 from repro.service.server import MarketService
 
-__all__ = ["ServiceFrontend", "ServiceClient"]
+__all__ = ["ServiceFrontend", "ServiceClient", "ClientRetryError"]
 
 
 @dataclass
@@ -120,6 +122,11 @@ class ServiceFrontend:
         self._threads: list[threading.Thread] = []
         self.served = 0
         self.conn_errors = 0
+        #: called on the dispatcher thread after each dispatched batch,
+        #: while the service is quiescent — the one safe place for
+        #: periodic maintenance that must own the service (checkpoint
+        #: shipping in :mod:`repro.cluster.replicate` hangs off this)
+        self.after_batch: Callable[[], None] | None = None
         registry = self.obs.registry
         self._m_conns = registry.gauge(
             "repro_frontend_connections", "live client connections"
@@ -252,6 +259,8 @@ class ServiceFrontend:
         # replies route back by seq as the observer captures them
         self.service.drain()
         self._flush_replies()
+        if self.after_batch is not None:
+            self.after_batch()
 
     def _submit_one(self, conn: _Conn, request: Any) -> None:
         if not isinstance(request, dict) or not isinstance(request.get("kind"), str):
@@ -285,6 +294,19 @@ class ServiceFrontend:
                 self.served += 1
 
 
+class ClientRetryError(WireError):
+    """Every retry attempt of :meth:`ServiceClient.call` failed.
+
+    Carries the last underlying error (``__cause__``) and the number of
+    attempts made, so callers (the cluster router) can distinguish "the
+    peer is dead" from a wire violation on a healthy peer.
+    """
+
+    def __init__(self, message: str, *, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
 class ServiceClient:
     """Blocking framed client for :class:`ServiceFrontend`.
 
@@ -292,18 +314,48 @@ class ServiceClient:
     traffic (the load generator) use :meth:`send` / :meth:`recv` from
     separate threads — the front-end echoes each request's ``cid`` so
     out-of-order replies correlate.
+
+    Two timeouts guard against a dead peer: *connect_timeout* bounds
+    :func:`socket.create_connection` (``None`` falls back to
+    *timeout*), and *timeout* bounds every read/write after that — a
+    peer that stops answering costs one timeout, never a hang.
+    :meth:`call` layers bounded reconnect-with-backoff on top; plain
+    :meth:`request` stays single-shot.
     """
 
     def __init__(self, address: tuple[str, int], *, sender: str | None = None,
-                 timeout: float | None = 30.0) -> None:
-        self.sock = socket.create_connection(address, timeout=timeout)
+                 timeout: float | None = 30.0,
+                 connect_timeout: float | None = None) -> None:
+        self.address = (address[0], int(address[1]))
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout if connect_timeout is not None else timeout
         self.sender = sender
+        self.sock = self._connect()
         self._next_cid = 0
         self._wlock = threading.Lock()
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection(self.address,
+                                        timeout=self.connect_timeout)
+        sock.settimeout(self.timeout)
+        return sock
+
+    def reconnect(self) -> None:
+        """Drop the current connection and dial the address again.
+
+        Any replies in flight on the old connection are lost — callers
+        pairing this with retries must resend under the *same* rid so
+        the service's exactly-once layer, not the network, decides
+        whether the request runs again.
+        """
+        self.close()
+        self.sock = self._connect()
 
     def send(self, kind: str, payload: Any, *, rid: str | None = None,
              now: float = 0.0, sender: str | None = None) -> int:
         """Frame one request without waiting; returns its ``cid``."""
+        if self.sock is None:
+            raise OSError("client is closed")
         with self._wlock:
             cid = self._next_cid
             self._next_cid += 1
@@ -319,6 +371,8 @@ class ServiceClient:
 
     def recv(self) -> dict:
         """Next reply frame (any ``cid``); raises on EOF mid-stream."""
+        if self.sock is None:
+            raise OSError("client is closed")
         reply = read_frame(self.sock)
         if reply is None:
             raise WireError("server closed the connection")
@@ -333,11 +387,65 @@ class ServiceClient:
             if reply.get("cid") == cid:
                 return reply
 
+    def call(self, kind: str, payload: Any, *, rid: str | None = None,
+             now: float = 0.0, sender: str | None = None, attempts: int = 4,
+             backoff: float = 0.05, max_backoff: float = 2.0,
+             retry_busy: bool = False) -> dict:
+        """One request with bounded reconnect-with-backoff.
+
+        The resilient form of :meth:`request`: a connection failure or
+        read timeout drops the socket, sleeps (exponential backoff,
+        capped at *max_backoff*), reconnects, and resends — up to
+        *attempts* tries total, then :class:`ClientRetryError`.
+
+        Idempotence is the caller's protection, not luck: every resend
+        carries the **same rid** (one is minted here when the caller
+        did not supply one), so if the first attempt was accepted and
+        only its reply was lost, the retry is answered from the
+        service's reply cache — never re-executed.
+
+        With *retry_busy* a ``BUSY`` verdict also backs off and
+        retries (sheds are not cached, so the retry is a genuine new
+        admission attempt); without it BUSY is returned to the caller,
+        who may hold better context for pacing.
+        """
+        if attempts < 1:
+            raise ValueError("attempts must be positive")
+        if rid is None:
+            # stable across every retry below, unique across clients
+            rid = f"call:{os.urandom(8).hex()}"
+        delay = backoff
+        last_error: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(delay)
+                delay = min(delay * 2, max_backoff)
+            try:
+                if self.sock is None:
+                    self.reconnect()
+                reply = self.request(kind, payload, rid=rid, now=now,
+                                     sender=sender)
+            except (OSError, WireError) as exc:
+                last_error = exc
+                self.close()
+                continue
+            if reply.get("status") == "BUSY" and retry_busy \
+                    and attempt + 1 < attempts:
+                continue
+            return reply
+        raise ClientRetryError(
+            f"{kind} to {self.address} failed after {attempts} attempt(s): "
+            f"{last_error}", attempts=attempts,
+        ) from last_error
+
     def close(self) -> None:
+        if self.sock is None:
+            return
         try:
             self.sock.close()
         except OSError:
             pass
+        self.sock = None
 
     def __enter__(self) -> "ServiceClient":
         return self

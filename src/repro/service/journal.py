@@ -113,7 +113,21 @@ class Journal:
 
     def __init__(self, *, telemetry: "obs.Telemetry | None" = None) -> None:
         self._records: list[JournalRecord] = []
+        self._observers: list = []
         self._bind_obs(telemetry)
+
+    def add_observer(self, fn) -> None:
+        """Call *fn(record)* synchronously for every appended record.
+
+        The segment-export hook: a replication shipper registered here
+        sees each record on the appending thread *before* the append
+        returns — and therefore before any reply that depends on the
+        record is sent — which is what lets a peer's copy of the
+        journal be a superset of every acknowledged request.  Records
+        loaded from disk (:class:`FileJournal` recovery) do not fire;
+        only new appends do.
+        """
+        self._observers.append(fn)
 
     def _bind_obs(self, telemetry: "obs.Telemetry | None") -> None:
         """Attach a telemetry stack (the service shares its own down)."""
@@ -161,6 +175,8 @@ class Journal:
                                   lsn=record.lsn, bytes=len(encoded)):
             self._records.append(record)
             self._persist(record)
+            for observer in self._observers:
+                observer(record)
         self._m_appends[kind].inc()
         self._m_bytes.inc(len(encoded))
         self._m_lsn.set(record.lsn)

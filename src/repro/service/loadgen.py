@@ -39,8 +39,11 @@ __all__ = [
     "Request",
     "LoadReport",
     "mint_deposit_traffic",
+    "mint_offline_deposit_traffic",
+    "mint_cluster_deposit_traffic",
     "run_trace",
     "run_socket_trace",
+    "run_cluster_trace",
 ]
 
 
@@ -94,24 +97,10 @@ def mint_deposit_traffic(
     re-submit an earlier token — guaranteed double spends the service
     must reject.
     """
-    if n_accounts < 1 or n_deposits < 1:
-        raise ValueError("need at least one account and one deposit")
-    if not 0.0 <= replay_fraction < 1.0:
-        raise ValueError("replay_fraction must be in [0, 1)")
     params = service.bank.params
     bank = service.bank
-    level = params.tree_level
-    depth = level if node_level is None else node_level
-    if not 0 <= depth <= level:
-        raise ValueError(f"node_level must be in [0, {level}]")
-    denomination = 1 << (level - depth)
-    tokens_per_coin = 1 << depth
-    coin_value = 1 << level
-
-    n_replays = int(n_deposits * replay_fraction)
-    n_fresh = n_deposits - n_replays
-    per_account = -(-n_fresh // n_accounts)
-    coins_per_account = -(-per_account // tokens_per_coin)
+    denomination, coin_value, per_account, coins_per_account, n_fresh, n_replays = \
+        _traffic_shape(params, n_accounts, n_deposits, node_level, replay_fraction)
 
     by_account: list[list[Request]] = []
     for i in range(n_accounts):
@@ -137,18 +126,158 @@ def mint_deposit_traffic(
 
     # interleave senders round-robin so consecutive arrivals alternate
     # accounts (the worst case for per-sender FIFO)
+    return _interleave_deposits(by_account, per_account,
+                                n_fresh, n_replays, rng)
+
+
+def _traffic_shape(params, n_accounts: int, n_deposits: int,
+                   node_level: int | None, replay_fraction: float):
+    """Validate the workload knobs; return the denomination arithmetic."""
+    if n_accounts < 1 or n_deposits < 1:
+        raise ValueError("need at least one account and one deposit")
+    if not 0.0 <= replay_fraction < 1.0:
+        raise ValueError("replay_fraction must be in [0, 1)")
+    level = params.tree_level
+    depth = level if node_level is None else node_level
+    if not 0 <= depth <= level:
+        raise ValueError(f"node_level must be in [0, {level}]")
+    denomination = 1 << (level - depth)
+    tokens_per_coin = 1 << depth
+    coin_value = 1 << level
+    n_replays = int(n_deposits * replay_fraction)
+    n_fresh = n_deposits - n_replays
+    per_account = -(-n_fresh // n_accounts)
+    coins_per_account = -(-per_account // tokens_per_coin)
+    return denomination, coin_value, per_account, coins_per_account, n_fresh, n_replays
+
+
+def _interleave_deposits(by_account: list[list[Request]], per_account: int,
+                         n_fresh: int, n_replays: int,
+                         rng: random.Random) -> list[Request]:
+    """Round-robin senders; splice in replayed (double-spend) requests."""
     fresh = [
         by_account[i][j]
         for j in range(per_account)
-        for i in range(n_accounts)
+        for i in range(len(by_account))
         if j < len(by_account[i])
     ][:n_fresh]
-
     requests = list(fresh)
-    for i in range(n_replays):
+    for _ in range(n_replays):
         victim = fresh[rng.randrange(len(fresh))]
         requests.insert(rng.randrange(len(requests) + 1), victim)
     return requests
+
+
+def mint_offline_deposit_traffic(
+    params,
+    keypair,
+    rng: random.Random,
+    *,
+    n_accounts: int,
+    n_deposits: int,
+    node_level: int | None = None,
+    replay_fraction: float = 0.0,
+    context: bytes = b"",
+) -> tuple[list[Request], list[Request]]:
+    """Mint deposit traffic with the issuing key alone — no bank touched.
+
+    Returns ``(open_requests, deposit_requests)``: the account-opening
+    requests to replay first, then the deposits.  Issuance happens
+    entirely client-side (the test harness holds the CL secrets), so
+    the *same* request lists can be replayed against two independent
+    services — the parity suite's tool for proving a cluster's replies
+    byte-identical to a single node's.  The books don't conserve under
+    this traffic (coins appear without withdrawal debits); use
+    :func:`mint_cluster_deposit_traffic` when the sweep will check
+    conservation.
+    """
+    denomination, coin_value, per_account, coins_per_account, n_fresh, n_replays = \
+        _traffic_shape(params, n_accounts, n_deposits, node_level, replay_fraction)
+    opens: list[Request] = []
+    by_account: list[list[Request]] = []
+    for i in range(n_accounts):
+        aid = f"sp{i}"
+        opens.append(Request(
+            sender=aid, kind="open-account",
+            payload={"aid": aid, "balance": coins_per_account * coin_value},
+        ))
+        mine: list[Request] = []
+        for _ in range(coins_per_account):
+            secret, request = begin_withdrawal(params, rng)
+            signature = cl_blind_issue(params.backend, keypair, request, rng)
+            coin = finish_withdrawal(params, keypair.public, secret, signature)
+            wallet = coin.wallet()
+            while len(mine) < per_account and wallet.balance >= denomination:
+                node = wallet.allocate(denomination)
+                token = create_spend(
+                    params, keypair.public, coin.secret, coin.signature, node, rng
+                )
+                mine.append(
+                    Request(sender=aid, kind="deposit",
+                            payload={"aid": aid, "token": token, "context": context})
+                )
+        by_account.append(mine)
+    return opens, _interleave_deposits(by_account, per_account,
+                                       n_fresh, n_replays, rng)
+
+
+def mint_cluster_deposit_traffic(
+    router,
+    params,
+    public_key,
+    rng: random.Random,
+    *,
+    n_accounts: int,
+    n_deposits: int,
+    node_level: int | None = None,
+    replay_fraction: float = 0.0,
+    context: bytes = b"",
+) -> list[Request]:
+    """Fund, withdraw and mint **over the wire**; return deposit requests.
+
+    The cluster twin of :func:`mint_deposit_traffic`: that one reaches
+    into ``service.bank`` directly, which no remote node allows, so
+    here every account is opened and every coin withdrawn through the
+    *router* — the blind-issuance signature comes back in the withdraw
+    verdict and the client finishes the coin locally, exactly the
+    paper's withdrawal protocol.  Books conserve (every deposited token
+    traces to a journaled withdrawal debit on its account's node), so
+    the cluster invariant sweep can hold conservation over the result.
+    """
+    denomination, coin_value, per_account, coins_per_account, n_fresh, n_replays = \
+        _traffic_shape(params, n_accounts, n_deposits, node_level, replay_fraction)
+    by_account: list[list[Request]] = []
+    for i in range(n_accounts):
+        aid = f"sp{i}"
+        reply = router.request(
+            "open-account",
+            {"aid": aid, "balance": coins_per_account * coin_value},
+            sender=aid,
+        )
+        if reply.get("status") != "OK":
+            raise RuntimeError(f"open-account for {aid!r} failed: {reply}")
+        mine: list[Request] = []
+        for _ in range(coins_per_account):
+            secret, request = begin_withdrawal(params, rng)
+            reply = router.request("withdraw", {"aid": aid, "request": request},
+                                   sender=aid)
+            if reply.get("status") != "OK":
+                raise RuntimeError(f"withdraw for {aid!r} failed: {reply}")
+            coin = finish_withdrawal(params, public_key, secret,
+                                     reply["signature"])
+            wallet = coin.wallet()
+            while len(mine) < per_account and wallet.balance >= denomination:
+                node = wallet.allocate(denomination)
+                token = create_spend(
+                    params, public_key, coin.secret, coin.signature, node, rng
+                )
+                mine.append(
+                    Request(sender=aid, kind="deposit",
+                            payload={"aid": aid, "token": token, "context": context})
+                )
+        by_account.append(mine)
+    return _interleave_deposits(by_account, per_account,
+                                n_fresh, n_replays, rng)
 
 
 def run_trace(
@@ -272,6 +401,55 @@ def run_socket_trace(
             raise reader_error[0]
     finally:
         client.close()
+    wall_end = time.perf_counter()
+    recorder.mark_span(wall_start, wall_end)
+
+    report = recorder.report() if len(recorder) else None
+    return LoadReport(
+        latency=report,
+        wall_elapsed=wall_end - wall_start,
+        submitted=n,
+        ok=counts["OK"],
+        shed=counts["BUSY"],
+        rejected=counts["REJECTED"],
+        errors=counts["ERROR"],
+        slo_findings=slo.check(report) if (slo is not None and report is not None) else (),
+    )
+
+
+def run_cluster_trace(
+    router,
+    requests: list[Request],
+    arrivals: list[float] | None = None,
+    *,
+    slo: SLOTarget | None = None,
+) -> LoadReport:
+    """Replay *requests* through a cluster router; report like the others.
+
+    Each request is routed to its owning node by partition key and
+    waited out before the next is sent — per-sender FIFO holds
+    trivially, and a failover mid-trace surfaces as elevated latency on
+    the re-routed requests rather than as errors (the router retries
+    under the same rid, so the service's exactly-once layer absorbs
+    the crash).  Latency is wall-clock across the full route-send-reply
+    round trip, which is the honest number for a sharded deployment:
+    it includes the routing decision and any re-route stalls.
+    """
+    recorder = LatencyRecorder()
+    counts = {"OK": 0, "BUSY": 0, "REJECTED": 0, "ERROR": 0}
+    n = len(requests) if arrivals is None else min(len(requests), len(arrivals))
+    wall_start = time.perf_counter()
+    for i in range(n):
+        request = requests[i]
+        at = arrivals[i] if arrivals is not None else 0.0
+        start = time.perf_counter()
+        reply = router.request(request.kind, request.payload,
+                               sender=request.sender, now=at)
+        done = time.perf_counter()
+        status = reply.get("status", "ERROR")
+        counts[status] = counts.get(status, 0) + 1
+        if status != "BUSY":
+            recorder.record(done - start)
     wall_end = time.perf_counter()
     recorder.mark_span(wall_start, wall_end)
 

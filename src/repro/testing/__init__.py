@@ -12,6 +12,9 @@ This package makes those failure modes *reproducible*:
 * :mod:`repro.testing.invariants` — global checks run after every
   recovery: balance conservation across shards, serial-number
   uniqueness, and exact ledger/journal agreement.
+* :mod:`repro.testing.cluster_invariants` — the multi-node sweep over
+  per-slice journal dumps: cross-node serial/rid uniqueness, ring
+  placement, and cluster-wide balance conservation.
 * :mod:`repro.testing.scenario` — replays PPMSdec (sharded service)
   and PPMSpbs (unitary bank) market flows under a fault plan, crash-
   recovering the service from its write-ahead journal, and reports
@@ -28,6 +31,7 @@ from repro.testing.faults import (
     FaultPlan,
     FaultyTransport,
 )
+from repro.testing.cluster_invariants import check_cluster_invariants
 from repro.testing.invariants import InvariantReport, check_recovery_invariants
 from repro.testing.properties import PropertyError, env_seed, property_test
 from repro.testing.scenario import (
@@ -47,6 +51,7 @@ __all__ = [
     "CrashPoint",
     "InvariantReport",
     "check_recovery_invariants",
+    "check_cluster_invariants",
     "PropertyError",
     "env_seed",
     "property_test",

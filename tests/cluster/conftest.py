@@ -1,0 +1,27 @@
+"""Cluster-layer fixtures.
+
+Everything runs on the toy pairing backend (cluster tests are about
+routing, replication and failover, not pairing arithmetic).  All nodes
+share one CL issuing keypair — sharding partitions state, not trust —
+so any node's verdicts verify under the one bank public key.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import LocalCluster
+from repro.crypto.cl_sig import cl_keygen
+
+
+@pytest.fixture(scope="session")
+def cluster_keypair(dec_params_toy, session_rng):
+    return cl_keygen(dec_params_toy.backend, session_rng)
+
+
+@pytest.fixture()
+def local_cluster(dec_params_toy, cluster_keypair):
+    """A three-node in-process cluster with tight checkpoint cadence."""
+    with LocalCluster(dec_params_toy, cluster_keypair, n_nodes=3,
+                      checkpoint_every=8) as cluster:
+        yield cluster

@@ -1,0 +1,102 @@
+"""Kill a node mid-trace; the cluster neither loses nor reruns a request."""
+
+from __future__ import annotations
+
+import random
+
+from repro.cluster import StaleClusterMapError
+from repro.service.loadgen import mint_cluster_deposit_traffic, run_cluster_trace
+from repro.testing import check_cluster_invariants
+
+
+def _aid_owned_by(cmap, node: str, prefix: str = "probe") -> str:
+    for j in range(10_000):
+        aid = f"{prefix}{j}"
+        if cmap.owner_of(aid) == node:
+            return aid
+    raise AssertionError(f"no {prefix}* account hashes to {node}")
+
+
+def test_cluster_survives_sigkill_mid_trace(local_cluster, dec_params_toy,
+                                            cluster_keypair):
+    rng = random.Random(2026)
+    with local_cluster.router(attempts=2, backoff=0.01,
+                              refresh_backoff=0.01) as router:
+        # fund + withdraw over the wire so the books conserve end to end
+        deposits = mint_cluster_deposit_traffic(
+            router, dec_params_toy, cluster_keypair.public, rng,
+            n_accounts=4, n_deposits=12, replay_fraction=0.2,
+        )
+        assert len(deposits) == 12  # 10 fresh + 2 deliberate replays
+
+        # phase 1: first half lands while all three nodes are alive
+        phase1, phase2 = deposits[:6], deposits[6:]
+        report1 = run_cluster_trace(router, phase1)
+        assert report1.errors == 0 and report1.shed == 0
+
+        # pin a request on the soon-to-die node under a known rid
+        victim = local_cluster.map.owner_of(phase2[0].payload["aid"])
+        probe = _aid_owned_by(local_cluster.map, victim)
+        before = router.request("open-account", {"aid": probe, "balance": 5},
+                                sender="probe", rid="probe-rid-1")
+        assert before == {"status": "OK", "balance": 5}
+
+        # SIGKILL-equivalent: no drain, no goodbye — then adoption
+        local_cluster.kill(victim)
+        adopter = local_cluster.failover(victim)
+        assert adopter != victim
+        assert victim in local_cluster.nodes[adopter].serving()
+
+        # the pre-kill rid is answered from the adopted reply cache —
+        # the account exists over there, so a rerun would be REJECTED
+        again = router.request("open-account", {"aid": probe, "balance": 5},
+                               sender="probe", rid="probe-rid-1")
+        assert again == before
+        fresh = router.request("open-account", {"aid": probe, "balance": 5},
+                               sender="probe", rid="probe-rid-2")
+        assert fresh["status"] != "OK"
+
+        # phase 2 re-routes to the adopter transparently
+        report2 = run_cluster_trace(router, phase2)
+        assert report2.errors == 0 and report2.shed == 0
+        assert router.reroutes >= 1
+
+        # exactly-once across the crash: every fresh deposit accepted
+        # once, every deliberate replay rejected, nothing lost
+        assert report1.ok + report2.ok == 10
+        assert report1.rejected + report2.rejected == 2
+
+    # cluster-wide sweep over the surviving slices (incl. the adopted
+    # one): serials unique, rids on one node, placement + conservation
+    report = check_cluster_invariants(
+        dec_params_toy, cluster_keypair, local_cluster.map,
+        local_cluster.dump_journals(), n_shards=4, conservation=True,
+    )
+    assert report.clean, report.findings
+
+
+def test_double_failure_of_a_replica_pair_is_reported(local_cluster):
+    victim = "n0"
+    adopter = local_cluster.map.replica_peer(victim)
+    local_cluster.kill(victim)
+    local_cluster.kill(adopter)
+    try:
+        local_cluster.failover(victim)
+    except RuntimeError as exc:
+        assert "also dead" in str(exc)
+    else:
+        raise AssertionError("double failure should not silently fail over")
+
+
+def test_router_with_no_feed_reports_staleness_after_kill(local_cluster):
+    import pytest
+
+    with local_cluster.router(refresh=None, attempts=1, backoff=0.01,
+                              connect_timeout=0.5) as router:
+        reply = router.request("open-account", {"aid": "sp0", "balance": 3},
+                               sender="sp0")
+        assert reply["status"] == "OK"
+        victim = local_cluster.map.owner_of("sp0")
+        local_cluster.kill(victim)
+        with pytest.raises(StaleClusterMapError):
+            router.request("balance", {"aid": "sp0"}, sender="sp0")

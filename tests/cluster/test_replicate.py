@@ -1,0 +1,165 @@
+"""Checkpoint/journal shipping: streams, spooling, idempotence."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster.replicate import (
+    JournalShipper,
+    ReplicaReceiver,
+    control_call,
+    journal_from_records,
+)
+from repro.service.journal import Checkpoint, Journal
+
+
+def _wait(predicate, *, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError("condition not reached in time")
+
+
+def _records(journal: Journal, n: int, *, start: int = 0) -> None:
+    for i in range(start, start + n):
+        journal.append("apply", f"rid{i}", "open-account",
+                       {"aid": f"sp{i}", "balance": i})
+
+
+def test_records_ship_synchronously_and_in_order():
+    with ReplicaReceiver() as receiver:
+        journal = Journal()
+        shipper = JournalShipper("src", receiver.address)
+        journal.add_observer(shipper.on_record)
+        _records(journal, 5)
+        assert shipper.healthy and shipper.shipped_records == 5
+        slot = receiver.slot("src")
+        _wait(lambda: slot.last_lsn == 4)
+        assert [r["lsn"] for r in slot.records] == [0, 1, 2, 3, 4]
+        assert receiver.sources() == ["src"]
+        shipper.close()
+
+
+def test_duplicate_lsns_are_dropped_by_the_receiver():
+    with ReplicaReceiver() as receiver:
+        journal = Journal()
+        shipper = JournalShipper("src", receiver.address)
+        journal.add_observer(shipper.on_record)
+        _records(journal, 3)
+        slot = receiver.slot("src")
+        _wait(lambda: slot.last_lsn == 2)
+        # a reconnecting shipper may replay overlap; LSN gates the append
+        for record in list(journal.records()):
+            shipper.on_record(record)
+        _wait(lambda: shipper.shipped_records == 6)
+        time.sleep(0.05)
+        assert [r["lsn"] for r in slot.records] == [0, 1, 2]
+        shipper.close()
+
+
+def test_checkpoint_ships_when_segment_budget_is_spent():
+    with ReplicaReceiver() as receiver:
+        journal = Journal()
+        shipper = JournalShipper("src", receiver.address, checkpoint_every=4)
+        shipper.bind_checkpoints(
+            lambda: Checkpoint(lsn=journal.last_lsn, blobs=(b"snap",))
+        )
+        journal.add_observer(shipper.on_record)
+        _records(journal, 3)
+        assert shipper.maybe_checkpoint() is False  # 3 < 4, not due yet
+        _records(journal, 1, start=3)
+        assert shipper.maybe_checkpoint() is True
+        slot = receiver.slot("src")
+        _wait(lambda: slot.checkpoint is not None)
+        restored = Checkpoint.from_bytes(slot.checkpoint)
+        assert restored.lsn == 3 and restored.blobs == (b"snap",)
+        # forcing always ships, and newest supersedes
+        _records(journal, 1, start=4)
+        assert shipper.maybe_checkpoint(force=True) is True
+        _wait(lambda: slot.checkpoint is not None
+              and Checkpoint.from_bytes(slot.checkpoint).lsn == 4)
+        assert shipper.shipped_checkpoints == 2
+        shipper.close()
+
+
+def test_spool_drains_after_peer_comes_back():
+    with ReplicaReceiver() as probe:
+        address = probe.address
+    # peer is down from the start: constructor degrades, records spool
+    journal = Journal()
+    shipper = JournalShipper("src", address, reconnect_backoff=0.02)
+    journal.add_observer(shipper.on_record)
+    _records(journal, 4)
+    assert not shipper.healthy and shipper.shipped_records == 0
+    # bring a receiver up on the same port; the reconnect thread must
+    # replay the whole spool (in order) before going healthy
+    with ReplicaReceiver(host=address[0], port=address[1]) as receiver:
+        _wait(lambda: shipper.healthy)
+        slot = receiver.slot("src")
+        _wait(lambda: slot.last_lsn == 3)
+        assert [r["lsn"] for r in slot.records] == [0, 1, 2, 3]
+        # live records after recovery ship on the hot path again
+        _records(journal, 2, start=4)
+        _wait(lambda: slot.last_lsn == 5)
+        # the degraded window marked a checkpoint due: the next
+        # maybe_checkpoint ships even though checkpoint_every is large
+        shipper.bind_checkpoints(
+            lambda: Checkpoint(lsn=journal.last_lsn, blobs=(b"post",))
+        )
+        assert shipper.maybe_checkpoint() is True
+        shipper.close()
+
+
+def test_wait_drained_waits_for_stream_eof():
+    with ReplicaReceiver() as receiver:
+        journal = Journal()
+        shipper = JournalShipper("src", receiver.address)
+        journal.add_observer(shipper.on_record)
+        _records(journal, 2)
+        slot = receiver.slot("src")
+        _wait(lambda: slot.streams == 1)
+        shipper.close()  # abrupt: the receiver sees EOF and decrements
+        drained = receiver.wait_drained("src")
+        assert drained.streams == 0
+        assert drained.last_lsn == 1  # sent bytes survived the close
+
+
+def test_journal_from_records_preserves_the_stream_verbatim():
+    source = Journal()
+    _records(source, 3)
+    states = [r.to_state() for r in source.records()]
+    rebuilt = journal_from_records(states)
+    assert [r.to_state() for r in rebuilt.records()] == states
+    assert rebuilt.last_lsn == 2
+
+
+def test_control_frames_ride_the_replication_listener():
+    seen = []
+
+    def control(frame):
+        seen.append(frame)
+        return {"ok": True, "echo": frame["type"]}
+
+    with ReplicaReceiver(control=control) as receiver:
+        reply = control_call(receiver.address, {"type": "ping"})
+        assert reply == {"ok": True, "echo": "ping"}
+        assert seen == [{"type": "ping"}]
+
+
+def test_control_errors_answer_instead_of_killing_the_connection():
+    def control(frame):
+        raise ValueError("boom")
+
+    with ReplicaReceiver(control=control) as receiver:
+        reply = control_call(receiver.address, {"type": "anything"})
+        assert reply["ok"] is False and "boom" in reply["error"]
+
+
+def test_receiver_without_control_rejects_unknown_frames():
+    with ReplicaReceiver() as receiver:
+        reply = control_call(receiver.address, {"type": "mystery"})
+        assert reply["ok"] is False

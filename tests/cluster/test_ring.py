@@ -1,0 +1,97 @@
+"""Consistent-hash ring and cluster-map properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.ring import ClusterMap, HashRing, key_point, ring_point
+
+node_names = st.lists(
+    st.text(alphabet="abcdefgh0123", min_size=1, max_size=8),
+    min_size=1, max_size=6, unique=True,
+)
+
+
+def _map_for(nodes, vnodes=16, version=0) -> ClusterMap:
+    return ClusterMap(
+        version=version, nodes=tuple(nodes),
+        addresses={n: ("127.0.0.1", 9000 + i) for i, n in enumerate(nodes)},
+        vnodes=vnodes,
+    )
+
+
+@given(nodes=node_names, key=st.text(max_size=32),
+       vnodes=st.integers(min_value=1, max_value=64))
+def test_every_key_has_exactly_one_stable_owner(nodes, key, vnodes):
+    """Any key maps to one member, identically for any independently
+    built ring over the same membership (order included)."""
+    ring = HashRing(nodes, vnodes=vnodes)
+    owner = ring.owner(key)
+    assert owner in nodes
+    assert HashRing(list(reversed(nodes)), vnodes=vnodes).owner(key) == owner
+    assert HashRing(tuple(nodes), vnodes=vnodes).owner(key) == owner
+
+
+@given(nodes=node_names.filter(lambda ns: len(ns) >= 2),
+       key=st.text(max_size=32))
+def test_rebind_changes_addresses_never_ownership(nodes, key):
+    cmap = _map_for(nodes)
+    owner = cmap.owner_of(key)
+    rebound = cmap.rebind(nodes[0], ("127.0.0.1", 19999))
+    assert rebound.version == cmap.version + 1
+    assert rebound.owner_of(key) == owner
+    assert rebound.address_of(nodes[0]) == ("127.0.0.1", 19999)
+    # the original map is untouched (it is frozen data)
+    assert cmap.address_of(nodes[0]) == ("127.0.0.1", 9000)
+
+
+def test_points_are_deterministic_sha_positions():
+    assert ring_point("n0", 0) == ring_point("n0", 0)
+    assert ring_point("n0", 0) != ring_point("n0", 1)
+    assert ring_point("n0", 0) != ring_point("n1", 0)
+    assert key_point("sp1") == key_point("sp1")
+
+
+def test_slice_share_sums_to_one_and_is_roughly_fair():
+    ring = HashRing(("n0", "n1", "n2"), vnodes=128)
+    shares = ring.slice_share()
+    assert shares.keys() == {"n0", "n1", "n2"}
+    assert sum(shares.values()) == pytest.approx(1.0)
+    for share in shares.values():
+        assert 0.15 < share < 0.55  # 128 vnodes keeps slices near 1/3
+
+
+def test_successor_rotates_membership():
+    ring = HashRing(("n0", "n1", "n2"))
+    assert ring.successor("n0") == "n1"
+    assert ring.successor("n2") == "n0"
+
+
+def test_replica_peer_requires_two_nodes():
+    cmap = _map_for(["solo"])
+    with pytest.raises(ValueError):
+        cmap.replica_peer("solo")
+
+
+def test_map_state_round_trips():
+    cmap = _map_for(["n0", "n1"], vnodes=8, version=3)
+    restored = ClusterMap.from_state(cmap.to_state())
+    assert restored.version == 3
+    assert restored.nodes == cmap.nodes
+    assert restored.addresses == cmap.addresses
+    assert restored.vnodes == 8
+    for key in ("sp0", "sp1", "anything"):
+        assert restored.owner_of(key) == cmap.owner_of(key)
+
+
+def test_ring_rejects_bad_membership():
+    with pytest.raises(ValueError):
+        HashRing(())
+    with pytest.raises(ValueError):
+        HashRing(("a", "a"))
+    with pytest.raises(ValueError):
+        HashRing(("a",), vnodes=0)
+    with pytest.raises(ValueError):
+        ClusterMap(version=0, nodes=("a", "b"),
+                   addresses={"a": ("127.0.0.1", 1)})

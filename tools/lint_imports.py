@@ -40,13 +40,16 @@ ALLOWED: dict[str, set[str]] = {
     "workloads": {"net"},
     "sim": {"attacks", "core"},
     "service": {"core", "crypto", "ecash", "metrics", "net", "obs"},
+    # the multi-node layer composes services over the wire; it sits
+    # above service and below testing (which sweeps clusters too)
+    "cluster": {"crypto", "ecash", "net", "obs", "service"},
     # the fault harness drives the whole stack, so it sits above it
-    "testing": {"core", "crypto", "ecash", "net", "obs", "service"},
+    "testing": {"cluster", "core", "crypto", "ecash", "net", "obs", "service"},
     "cli": {"attacks", "core", "crypto", "ecash", "metrics"},
     # the root package re-exports everything
     "(root)": {
-        "_util", "attacks", "cli", "core", "crypto", "ecash", "metrics",
-        "net", "obs", "service", "sim", "testing", "workloads",
+        "_util", "attacks", "cli", "cluster", "core", "crypto", "ecash",
+        "metrics", "net", "obs", "service", "sim", "testing", "workloads",
     },
 }
 
