@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install dev test bench bench-json service-bench fastexp-bench report examples lint-imports test-faults coverage obs-demo cluster-demo cluster-smoke clean
+.PHONY: install dev test bench bench-json service-bench fastexp-bench batchverify-bench report examples lint-imports test-faults coverage obs-demo cluster-demo cluster-smoke clean
 
 # Coverage floor enforced by `make coverage` and the CI coverage job.
 # Measured line coverage of src/repro under the full suite is ~96%;
@@ -32,6 +32,11 @@ service-bench:
 
 fastexp-bench:
 	$(PYTHON) -m pytest benchmarks/bench_fastexp.py --benchmark-only --benchmark-json=BENCH_fastexp.json
+
+# Batch-size -> throughput curve for RLC batch verification plus the
+# shared-table worker spawn comparison; merges into BENCH_fastexp.json.
+batchverify-bench:
+	$(PYTHON) -m pytest benchmarks/bench_batchverify.py --benchmark-only --benchmark-json=BENCH_batchverify.json
 
 lint-imports:
 	$(PYTHON) tools/lint_imports.py

@@ -287,8 +287,11 @@ class ClusterProxy:
                     return
                 decoder.feed(data)
                 for request in decoder.frames():
-                    sock.sendall(encode_frame(self._answer(request)))
+                    reply = self._answer(request)
+                    # count before sending: a client that has the reply
+                    # in hand must observe the request as served
                     self.served += 1
+                    sock.sendall(encode_frame(reply))
         except (OSError, WireError):
             return
         finally:

@@ -1,0 +1,284 @@
+"""Random-linear-combination batch verification with bisection fallback.
+
+Every sigma-protocol verifier in :mod:`repro.crypto.zkp` ultimately
+evaluates equations of one shape: a product of known group elements
+raised to known exponents must equal the identity,
+
+    ``b_1^{e_1} · b_2^{e_2} · ... · b_m^{e_m}  ==  1   (mod p)``,
+
+with the exponents living in ``[0, q)`` for the subgroup order ``q``
+(an element on the "wrong side" of the equality contributes its
+inverse, i.e. exponent ``q - e``).  :class:`LinearCheck` is that shape
+reified; the ``collect_*`` functions in the zkp modules produce them
+instead of evaluating eagerly.
+
+**Small-exponent RLC.**  Rather than evaluating k equations with k
+multi-exponentiations, draw an independent random coefficient ``c_i``
+per *equation* and test the single combined equation
+
+    ``Π_i ( Π_j b_{ij}^{e_ij} )^{c_i}  ==  1``.
+
+Terms sharing a base across equations merge (their exponents sum to
+``Σ c_i · e_ij mod q``), so the combined test is ONE Straus multi-exp
+over the distinct bases — and in a deposit batch the bases (``g``,
+``h``, the per-storey generators, commitments shared across rounds)
+repeat heavily, which is where the throughput comes from.
+
+**Soundness.**  If any single equation does not hold, its left side is
+some ``v ≠ 1`` in the order-``q`` subgroup; the combined product is
+``v^{c_i} · (rest)`` and passes only when ``c_i`` hits the single root
+of a non-trivial linear equation mod the subgroup order — probability
+``1 / (bound - 1) ≤ 2^-127`` per coefficient, union-bounded over the
+batch (see ``docs/performance.md``).  Two caveats make this argument
+real rather than folklore:
+
+* coefficients are drawn **per equation**, never shared between
+  equations of one item — a shared coefficient would let two planted
+  violations ``v`` and ``v^{-1}`` cancel deterministically;
+* every base must lie in the order-``q`` subgroup.  ``Z_p^*`` has a
+  cofactor-2 component, and an element outside the subgroup would
+  enjoy 1/2 escape probability, so the collectors membership-check
+  all statement inputs before deferring (mirrored in the sequential
+  verifiers to keep decisions identical).
+
+**Auditability.**  Coefficients come from :class:`CoefficientSource`
+— a SHAKE-256 stream keyed by a domain tag, the batch seed, the
+bisection path and the item index, with equation *i* reading the
+stream's bytes ``[16i, 16i+16)`` — so any verdict can be re-derived
+offline from the seed alone; there is no hidden RNG state.
+
+**Bisection.**  A failed combined check proves "at least one bad item"
+but not which.  :meth:`BatchVerifier.verify` splits the index range in
+half and recurses, drawing *fresh* coefficients per sub-batch (the
+path is part of the hash input), until singletons are reached —
+singletons are evaluated **exactly**, with no random coefficients, so
+the per-item accept/reject decision is bit-identical to sequential
+verification.  Cost: a batch with ``d`` bad items spends at most
+``2·d·log2(k)`` extra combined checks, and each level halves the
+multi-exp width, so the worst case degrades to ~2× sequential rather
+than k×.
+
+This module is pure arithmetic: it may import only
+:mod:`repro.crypto.fastexp` and :mod:`repro.crypto.hashing` (pinned by
+``tools/lint_imports.py``) so every layer can lean on it cycle-free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+import repro.crypto.fastexp as fastexp
+
+__all__ = [
+    "COEFFICIENT_BITS",
+    "LinearCheck",
+    "linear_check",
+    "CoefficientSource",
+    "BatchVerifier",
+    "verify_each",
+]
+
+#: Size of the random combining coefficients (capped by the subgroup
+#: order for small test groups); the per-equation escape probability
+#: is ``1 / (min(2^128, q) - 1)``.
+COEFFICIENT_BITS = 128
+
+
+def _int_bytes(value: int) -> bytes:
+    """Canonical big-endian encoding (non-negative ints)."""
+    if value < 0:
+        raise ValueError("negative value")
+    return value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+
+
+@dataclass(frozen=True)
+class LinearCheck:
+    """One deferred verification equation ``Π bases^exponents == 1 mod modulus``.
+
+    Build via :func:`linear_check`, which canonicalises: bases reduced
+    mod ``modulus``, exponents folded into ``[0, order)`` (negative
+    exponents become ``order - e`` — valid because every base is a
+    member of the order-``order`` subgroup), zero-exponent terms
+    dropped.
+    """
+
+    modulus: int
+    order: int
+    bases: tuple[int, ...]
+    exponents: tuple[int, ...]
+
+    def holds(self) -> bool:
+        """Exact (non-randomised) evaluation of the equation."""
+        m = self.modulus
+        acc = 1
+        for base, exponent in zip(self.bases, self.exponents):
+            acc = acc * pow(base, exponent, m) % m
+        return acc == 1 % m
+
+
+def linear_check(
+    modulus: int, order: int, terms: Iterable[tuple[int, int]]
+) -> LinearCheck:
+    """Canonicalise ``(base, signed_exponent)`` terms into a :class:`LinearCheck`."""
+    if modulus < 2 or order < 2:
+        raise ValueError("modulus and order must be >= 2")
+    bases: list[int] = []
+    exponents: list[int] = []
+    for base, exponent in terms:
+        e = exponent % order
+        if e:
+            bases.append(base % modulus)
+            exponents.append(e)
+    return LinearCheck(modulus, order, tuple(bases), tuple(exponents))
+
+
+class CoefficientSource:
+    """Seeded, auditable stream of RLC coefficients.
+
+    ``coefficient(order, index, equation, path)`` is a pure function of
+    the constructor arguments and its own — re-deriving any batch
+    verdict offline needs only the seed.  Values are uniform over
+    ``[1, min(2^128, order))``: never 0 mod ``order`` (a zero
+    coefficient would silently drop an equation from the combination —
+    and unbalance the paired ``+c``/``-c`` terms of a pairing batch),
+    and the +1 offset costs a bias of at most ``2^-128``.
+
+    Derivation: one SHAKE-256 stream per ``(path, index)``, absorbing
+    ``domain || len(seed) || seed || path``-dot-string ``|| index``;
+    equation *i*'s coefficient reads bytes ``[16i, 16i+16)`` of the
+    stream.  One hash absorb covers every equation of an item — a
+    deposit token defers dozens — while keeping the offline-replay
+    story: the stream position, not a per-equation hash, is the
+    domain separation.
+    """
+
+    def __init__(self, seed: int | bytes, domain: bytes = b"repro.crypto.batchverify") -> None:
+        self.domain = bytes(domain)
+        self.seed = seed if isinstance(seed, bytes) else _int_bytes(int(seed))
+        self._streams: dict[tuple, bytes] = {}
+
+    def _stream(self, index: int, path: Sequence[int], need: int) -> bytes:
+        key = (tuple(path), index)
+        buffer = self._streams.get(key)
+        if buffer is None or len(buffer) < need:
+            shake = hashlib.shake_256()
+            shake.update(self.domain)
+            shake.update(len(self.seed).to_bytes(4, "big"))
+            shake.update(self.seed)
+            shake.update(".".join(str(step) for step in path).encode())
+            shake.update(_int_bytes(index))
+            buffer = shake.digest(max(need, 2 * len(buffer or b""), 512))
+            self._streams[key] = buffer
+        return buffer
+
+    def coefficient(
+        self,
+        order: int,
+        index: int,
+        equation: int = 0,
+        path: Sequence[int] = (),
+    ) -> int:
+        """The combining coefficient for equation *equation* of item *index*.
+
+        *path* is the bisection path (tuple of 0/1 splits) so every
+        sub-batch re-randomises independently of its parent's failure.
+        """
+        bound = min(1 << COEFFICIENT_BITS, order)
+        if bound <= 2:
+            return 1
+        offset = 16 * equation
+        block = self._stream(index, path, offset + 16)[offset : offset + 16]
+        return 1 + int.from_bytes(block, "big") % (bound - 1)
+
+
+class BatchVerifier:
+    """Accumulates per-item :class:`LinearCheck` lists; verdicts via RLC.
+
+    Usage::
+
+        verifier = BatchVerifier(seed=rng.getrandbits(256))
+        for key, token in enumerate(tokens):
+            verifier.add(key, collect_checks(token))
+        verdicts = verifier.verify()   # {key: bool}
+
+    Decision contract: ``verdicts[key]`` equals
+    ``all(c.holds() for c in checks)`` except with probability at most
+    ``(k-1)·2^-127`` over the seed (each combined check the item
+    participates in can mask it with probability ``≤ 2^-127``; honest
+    items are never rejected).  Items with an empty check list accept.
+    """
+
+    def __init__(self, *, seed: int | bytes, domain: bytes = b"repro.crypto.batchverify") -> None:
+        self._source = CoefficientSource(seed, domain)
+        self._items: list[tuple[Any, tuple[LinearCheck, ...]]] = []
+
+    def add(self, key: Any, checks: Sequence[LinearCheck]) -> None:
+        self._items.append((key, tuple(checks)))
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    # -- combination ------------------------------------------------------
+    def _combined_holds(self, indices: Sequence[int], path: tuple[int, ...]) -> bool:
+        """One randomised check over all equations of *indices*."""
+        # (modulus, order) -> base -> accumulated exponent; checks from
+        # different groups (e.g. the two storeys of an edge proof) can
+        # never merge, so each group gets its own multi-exp.
+        groups: dict[tuple[int, int], dict[int, int]] = {}
+        for index in indices:
+            _, checks = self._items[index]
+            for eq, check in enumerate(checks):
+                c = self._source.coefficient(check.order, index, eq, path)
+                merged = groups.setdefault((check.modulus, check.order), {})
+                for base, exponent in zip(check.bases, check.exponents):
+                    merged[base] = merged.get(base, 0) + c * exponent
+        for (modulus, order), merged in groups.items():
+            bases: list[int] = []
+            exponents: list[int] = []
+            for base, accumulated in merged.items():
+                e = accumulated % order
+                if e:
+                    bases.append(base)
+                    exponents.append(e)
+            if fastexp.multi_exp(bases, exponents, modulus) != 1 % modulus:
+                return False
+        return True
+
+    def verify(self) -> dict[Any, bool]:
+        """Verdict per key; failed combinations bisect down to singletons."""
+        verdicts: dict[Any, bool] = {}
+        if not self._items:
+            return verdicts
+        stack: list[tuple[tuple[int, ...], tuple[int, ...]]] = [
+            ((), tuple(range(len(self._items))))
+        ]
+        while stack:
+            path, indices = stack.pop()
+            if len(indices) == 1:
+                key, checks = self._items[indices[0]]
+                verdicts[key] = all(check.holds() for check in checks)
+                continue
+            if self._combined_holds(indices, path):
+                for index in indices:
+                    verdicts[self._items[index][0]] = True
+            else:
+                mid = len(indices) // 2
+                stack.append((path + (0,), indices[:mid]))
+                stack.append((path + (1,), indices[mid:]))
+        return verdicts
+
+
+def verify_each(
+    batches: Sequence[Sequence[LinearCheck]],
+    *,
+    seed: int | bytes,
+    domain: bytes = b"repro.crypto.batchverify",
+) -> list[bool]:
+    """Positional convenience wrapper: one verdict per entry of *batches*."""
+    verifier = BatchVerifier(seed=seed, domain=domain)
+    for index, checks in enumerate(batches):
+        verifier.add(index, checks)
+    verdicts = verifier.verify()
+    return [verdicts[index] for index in range(len(batches))]

@@ -61,6 +61,8 @@ __all__ = [
     "enabled",
     "stats",
     "reset",
+    "export_int_tables",
+    "install_int_tables",
 ]
 
 
@@ -77,7 +79,10 @@ class CacheStats:
     yet; ``builds`` — tables constructed (by promotion or warming);
     ``evictions`` — tables dropped by the LRU bound; ``bypasses`` —
     calls that skipped the cache entirely (disabled, or modulus below
-    the integer gate).
+    the integer gate); ``attached`` — tables adopted ready-built from
+    a shared-memory blob (:meth:`PromotionCache.install`) rather than
+    constructed locally.  ``builds`` counts only local constructions,
+    so ``attached`` is exactly the work the sharing path saved.
     """
 
     hits: int = 0
@@ -85,6 +90,7 @@ class CacheStats:
     builds: int = 0
     evictions: int = 0
     bypasses: int = 0
+    attached: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -93,6 +99,7 @@ class CacheStats:
             "builds": self.builds,
             "evictions": self.evictions,
             "bypasses": self.bypasses,
+            "attached": self.attached,
         }
 
     @property
@@ -220,6 +227,41 @@ class FixedBaseTable:
                     acc = acc * tables[j][k] % m
         return acc
 
+    # -- serialization (shared-memory table transport) --------------------
+    def to_state(self) -> dict[str, Any]:
+        """Plain-data snapshot; :meth:`from_state` rebuilds without any
+        exponentiation work (the point of shipping tables to workers)."""
+        return {
+            "base": self.base,
+            "modulus": self.modulus,
+            "order": self.order,
+            "bits": self.bits,
+            "teeth": self.teeth,
+            "splits": self.splits,
+            "tables": [list(t) for t in self._tables],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "FixedBaseTable":
+        table = cls.__new__(cls)
+        table.base = int(state["base"])
+        table.modulus = int(state["modulus"])
+        order = state["order"]
+        table.order = None if order is None else int(order)
+        table.bits = int(state["bits"])
+        table.teeth = int(state["teeth"])
+        table.splits = int(state["splits"])
+        if table.modulus < 3 or table.bits < 1 or table.teeth < 1 or table.splits < 1:
+            raise ValueError("malformed fixed-base table state")
+        table._block = -(-table.bits // table.teeth)
+        table._sub = -(-table._block // table.splits)
+        rows = [list(map(int, t)) for t in state["tables"]]
+        size = 1 << table.teeth
+        if len(rows) != table.splits or any(len(t) != size for t in rows):
+            raise ValueError("fixed-base table state has wrong dimensions")
+        table._tables = rows
+        return table
+
 
 class GenericFixedBaseTable:
     """The same comb over an arbitrary group given as ``(identity, op)``.
@@ -309,6 +351,43 @@ class GenericFixedBaseTable:
                 if k:
                     acc = op(acc, tables[j][k])
         return acc
+
+    # -- serialization (shared-memory table transport) --------------------
+    def to_state(self, encode: Callable[[Any], Any]) -> dict[str, Any]:
+        """Snapshot with elements mapped through *encode* (plain data)."""
+        return {
+            "base": encode(self.base),
+            "bits": self.bits,
+            "teeth": self.teeth,
+            "splits": self.splits,
+            "tables": [[encode(x) for x in t] for t in self._tables],
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        identity: Any,
+        op: Callable[[Any, Any], Any],
+        decode: Callable[[Any], Any],
+        state: dict[str, Any],
+    ) -> "GenericFixedBaseTable":
+        table = cls.__new__(cls)
+        table.identity = identity
+        table.op = op
+        table.base = decode(state["base"])
+        table.bits = int(state["bits"])
+        table.teeth = int(state["teeth"])
+        table.splits = int(state["splits"])
+        if table.bits < 1 or table.teeth < 1 or table.splits < 1:
+            raise ValueError("malformed generic table state")
+        table._block = -(-table.bits // table.teeth)
+        table._sub = -(-table._block // table.splits)
+        rows = [[decode(x) for x in t] for t in state["tables"]]
+        size = 1 << table.teeth
+        if len(rows) != table.splits or any(len(t) != size for t in rows):
+            raise ValueError("generic table state has wrong dimensions")
+        table._tables = rows
+        return table
 
 
 # ---------------------------------------------------------------------------
@@ -423,8 +502,11 @@ def multi_exp_generic(
 # ---------------------------------------------------------------------------
 
 #: registry of live caches, for aggregate stats (weak so throwaway
-#: backends in tests don't accumulate)
-_REGISTRY: list[weakref.ref] = []
+#: backends in tests don't accumulate).  Survives ``importlib.reload``
+#: of this module — a reload (the env-knob tests do one) must not
+#: orphan caches held by live backends, or ``reset()``/``stats()``
+#: silently stop covering them.
+_REGISTRY: list[weakref.ref] = globals().get("_REGISTRY", [])
 
 
 class PromotionCache:
@@ -494,6 +576,26 @@ class PromotionCache:
                 self.stats.evictions += 1
         self._entries.move_to_end(key)
         return entry
+
+    def install(self, key: Any, entry: Any) -> None:
+        """Adopt an externally built table (the shared-memory attach path).
+
+        Counted under ``attached``, not ``builds`` — the whole point of
+        the counter split is that an operator can see whether workers
+        rebuilt their tables or inherited them.
+        """
+        self._pending.pop(key, None)
+        if key not in self._entries:
+            self.stats.attached += 1
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def snapshot(self) -> list[tuple[Any, Any]]:
+        """Resident ``(key, table)`` pairs in LRU order (export path)."""
+        return list(self._entries.items())
 
     def clear(self) -> None:
         """Drop every table and pending count; reset the counters."""
@@ -635,6 +737,35 @@ def warm_fixed_base(
     return True
 
 
+def export_int_tables() -> list[dict[str, Any]]:
+    """Snapshot every resident integer comb as plain state dicts.
+
+    The export is what :func:`repro.ecash.spend.export_verification_tables`
+    packs into the shared-memory blob; order is LRU (coldest first) so
+    a size-bounded importer keeps the hottest tables.
+    """
+    return [table.to_state() for _, table in _INT_TABLES.snapshot()]
+
+
+def install_int_tables(states: Sequence[dict[str, Any]]) -> int:
+    """Adopt exported integer combs into the shared cache.
+
+    Returns the number installed.  Honors the global gates the build
+    path honors — with tables disabled the states are ignored, so an
+    attach can never resurrect a configuration the operator turned off.
+    """
+    if not _CONFIG["enabled"]:
+        return 0
+    installed = 0
+    for state in states:
+        table = FixedBaseTable.from_state(state)
+        if table.modulus.bit_length() < _CONFIG["min_modulus_bits"]:
+            continue
+        _INT_TABLES.install((table.modulus, table.base), table)
+        installed += 1
+    return installed
+
+
 def stats() -> dict[str, dict[str, int]]:
     """Aggregate counters of every live cache, keyed by cache name.
 
@@ -651,7 +782,7 @@ def stats() -> dict[str, dict[str, int]]:
         row = out.setdefault(
             cache.name,
             {"hits": 0, "misses": 0, "builds": 0, "evictions": 0,
-             "bypasses": 0, "tables": 0},
+             "bypasses": 0, "attached": 0, "tables": 0},
         )
         for field_name, value in cache.stats.as_dict().items():
             row[field_name] += value

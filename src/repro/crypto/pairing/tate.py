@@ -28,8 +28,11 @@ __all__ = [
     "miller_loop",
     "multi_operate",
     "tate_pairing",
+    "final_exponentiation",
     "MillerTable",
+    "PairingBatch",
     "TatePairing",
+    "clear_shared_tables",
 ]
 
 
@@ -121,6 +124,18 @@ def multi_operate(identity, op, elements, scalars, *, window: int = 4):
     return acc
 
 
+def final_exponentiation(params: CurveParams, f: Fp2) -> Fp2:
+    """Map a raw Miller value into μ_r: ``f ^ ((p² - 1) / r)``.
+
+    This is a *multiplicative homomorphism* ``F_{p²}* → μ_r`` — the
+    fact the batched pairing check rests on: a product of raw Miller
+    values needs only ONE final exponentiation, and
+    ``finalexp(Π raw_i^{k_i}) = Π ê_i^{k_i}``.
+    """
+    f = f.conjugate() / f  # x^(p-1) = conj(x)/x (Frobenius is conjugation)
+    return f.pow((params.p + 1) // params.r)
+
+
 def _line_desc(t: Point, u: Point):
     """The line through *t* and *u* as an evaluable descriptor.
 
@@ -145,6 +160,34 @@ def _line_desc(t: Point, u: Point):
     return ("l", lam, t.x, t.y)
 
 
+def _flat_desc(desc: tuple) -> tuple[int, ...]:
+    """A descriptor as a flat int 7-tuple for the inline evaluation loop.
+
+    ``(1, x0a, x0b, 0, 0, 0, 0)`` is the vertical ``x = x0``;
+    ``(0, la, lb, txa, txb, tya, tyb)`` the chord/tangent.  Plain ints
+    keep the hot loop free of :class:`Fp2` allocations (one object and
+    three method calls per field multiply otherwise) and make the
+    tables picklable as pure data for the shared-memory transport.
+    """
+    if desc[0] == "v":
+        x0 = desc[1]
+        return (1, x0.a, x0.b, 0, 0, 0, 0)
+    _, lam, tx, ty = desc
+    return (0, lam.a, lam.b, tx.a, tx.b, ty.a, ty.b)
+
+
+def _desc_from_flat(flat: tuple[int, ...], p: int):
+    """Inverse of :func:`_flat_desc` (exact roundtrip)."""
+    if flat[0]:
+        return ("v", Fp2(flat[1], flat[2], p))
+    return (
+        "l",
+        Fp2(flat[1], flat[2], p),
+        Fp2(flat[3], flat[4], p),
+        Fp2(flat[5], flat[6], p),
+    )
+
+
 class MillerTable:
     """Precomputed Miller loop for a *fixed* first pairing argument.
 
@@ -158,7 +201,7 @@ class MillerTable:
     :func:`tate_pairing`; the build costs about one pairing.
     """
 
-    __slots__ = ("params", "point", "_steps", "_final_exp")
+    __slots__ = ("params", "point", "_steps", "_flat", "_final_exp")
 
     def __init__(self, params: CurveParams, P: Point) -> None:
         if P.is_infinity:
@@ -177,6 +220,10 @@ class MillerTable:
                 steps.append((False, _line_desc(T, P), _line_desc(t_plus_p, -t_plus_p)))
                 T = t_plus_p
         self._steps = steps
+        self._flat = [
+            (is_double, _flat_desc(nd), _flat_desc(dd))
+            for is_double, nd, dd in steps
+        ]
         self._final_exp = (params.p + 1) // r
 
     @property
@@ -190,23 +237,89 @@ class MillerTable:
         _, lam, tx, ty = desc
         return s.y - ty - lam * (s.x - tx)
 
-    def pair(self, Q: Point) -> Fp2:
-        """``ê(point, Q)`` — bit-identical to :func:`tate_pairing`."""
+    def raw(self, Q: Point) -> Fp2:
+        """The *pre-final-exponentiation* Miller value ``f_{r,point}(ψ(Q))``.
+
+        The loop runs on flat int coefficient pairs with the F_{p²}
+        multiplication written out — ``(a,b)·(c,d) = (ac − bd, ad + bc)``
+        mod p, exactly :meth:`Fp2.__mul__` — so the result is
+        bit-identical to accumulating :class:`Fp2` objects while paying
+        none of their allocation cost.  Numerator and denominator are
+        tracked separately; the single inversion happens here, once.
+        """
         p = self.params.p
         if Q.is_infinity:
             return Fp2.one(p)
         s = Q.distort()
-        fn = Fp2.one(p)
-        fd = Fp2.one(p)
-        for is_double, num_desc, den_desc in self._steps:
+        sxa, sxb = s.x.a, s.x.b
+        sya, syb = s.y.a, s.y.b
+        fna, fnb = 1, 0
+        fda, fdb = 1, 0
+        for is_double, nd, dd in self._flat:
             if is_double:
-                fn = fn * fn
-                fd = fd * fd
-            fn = fn * self._eval(num_desc, s)
-            fd = fd * self._eval(den_desc, s)
-        f = fn / fd
+                fna, fnb = (fna * fna - fnb * fnb) % p, (2 * fna * fnb) % p
+                fda, fdb = (fda * fda - fdb * fdb) % p, (2 * fda * fdb) % p
+            if nd[0]:
+                va = sxa - nd[1]
+                vb = sxb - nd[2]
+            else:
+                dxa = sxa - nd[3]
+                dxb = sxb - nd[4]
+                va = sya - nd[5] - (nd[1] * dxa - nd[2] * dxb)
+                vb = syb - nd[6] - (nd[1] * dxb + nd[2] * dxa)
+            fna, fnb = (fna * va - fnb * vb) % p, (fna * vb + fnb * va) % p
+            if dd[0]:
+                va = sxa - dd[1]
+                vb = sxb - dd[2]
+            else:
+                dxa = sxa - dd[3]
+                dxb = sxb - dd[4]
+                va = sya - dd[5] - (dd[1] * dxa - dd[2] * dxb)
+                vb = syb - dd[6] - (dd[1] * dxb + dd[2] * dxa)
+            fda, fdb = (fda * va - fdb * vb) % p, (fda * vb + fdb * va) % p
+        return Fp2(fna, fnb, p) / Fp2(fda, fdb, p)
+
+    def pair(self, Q: Point) -> Fp2:
+        """``ê(point, Q)`` — bit-identical to :func:`tate_pairing`."""
+        if Q.is_infinity:
+            return Fp2.one(self.params.p)
+        f = self.raw(Q)
         f = f.conjugate() / f
         return f.pow(self._final_exp)
+
+    # -- serialization (shared-memory table transport) --------------------
+    def to_state(self) -> dict:
+        """Plain-int snapshot (the flat steps ARE the payload)."""
+        return {
+            "point": self.point.encode(),
+            "steps": [
+                (1 if is_double else 0, nd, dd)
+                for is_double, nd, dd in self._flat
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, params: CurveParams, state: dict) -> "MillerTable":
+        table = cls.__new__(cls)
+        table.params = params
+        p = params.p
+        xa, xb, ya, yb, inf = state["point"]
+        if inf:
+            raise ValueError("Miller table state at infinity")
+        table.point = Point(Fp2(xa, xb, p), Fp2(ya, yb, p), p)
+        flat: list[tuple] = []
+        steps: list[tuple] = []
+        for is_double, nd, dd in state["steps"]:
+            nd = tuple(int(x) for x in nd)
+            dd = tuple(int(x) for x in dd)
+            if len(nd) != 7 or len(dd) != 7:
+                raise ValueError("malformed Miller step")
+            flat.append((bool(is_double), nd, dd))
+            steps.append((bool(is_double), _desc_from_flat(nd, p), _desc_from_flat(dd, p)))
+        table._flat = flat
+        table._steps = steps
+        table._final_exp = (params.p + 1) // params.r
+        return table
 
 
 def tate_pairing(params: CurveParams, P: Point, Q: Point) -> Fp2:
@@ -224,6 +337,126 @@ def tate_pairing(params: CurveParams, P: Point, Q: Point) -> Fp2:
     # x^(p-1) = conj(x) / x  (Frobenius is conjugation in F_p[i])
     f = f.conjugate() / f
     return f.pow((p + 1) // r)
+
+
+class PairingBatch:
+    """Amortized check of ``Π ê(P_i, Q_i)^{k_i} · Π t_j^{m_j} == 1``.
+
+    Three amortizations stack (see ``docs/performance.md``):
+
+    * exponents fold into the *source* group first — by bilinearity
+      ``Π ê(F, Q_i)^{k_i} = ê(F, Σ k_i·Q_i)``, so terms sharing a fixed
+      first argument ``F`` (the generator, the bank's ``X``/``Y``)
+      collapse to one point multi-exp plus ONE Miller loop;
+    * Miller loops produce *raw* (pre-final-exponentiation) values that
+      are multiplied in F_{p²} and pushed through a single shared
+      :func:`final_exponentiation` — the dominant ``pow`` of a pairing
+      is paid once per flush instead of once per pairing;
+    * loose G_T factors (deferred commitments, statement powers) join
+      via one Straus chain.
+
+    Exponents are reduced mod *r* on entry (sound: both ``ê`` and the
+    G_T elements live in order-*r* groups); zero-reduced terms drop
+    out, which is why the batch coefficients upstream are drawn from
+    ``[1, min(2^128, r))`` — never 0 mod r.
+    """
+
+    def __init__(self, backend: "TatePairing") -> None:
+        self._backend = backend
+        # fixed-argument key -> (fixed point, moving points, scalars)
+        self._pairs: dict[tuple, tuple[Point, list[Point], list[int]]] = {}
+        # (fixed key, moving key) -> slot in the entry's parallel lists;
+        # repeated pairs merge by summing scalars (exact:
+        # ê(F,Q)^a · ê(F,Q)^b = ê(F,Q)^{a+b}), so a batch over recycled
+        # tokens pays one Miller evaluation per *distinct* point.
+        self._slots: dict[tuple, int] = {}
+        self._gt: list[Fp2] = []
+        self._gt_scalars: list[int] = []
+
+    def add_pair(self, fixed: Point, moving: Point, exponent: int = 1) -> None:
+        """Multiply ``ê(fixed, moving)^exponent`` into the product."""
+        order = self._backend.order
+        k = exponent % order
+        if k == 0 or fixed.is_infinity or moving.is_infinity:
+            return  # ê(·, ∞) = 1 contributes nothing
+        fixed_key = fixed.encode()
+        entry = self._pairs.get(fixed_key)
+        if entry is None:
+            entry = (fixed, [], [])
+            self._pairs[fixed_key] = entry
+        slot_key = (fixed_key, moving.encode())
+        slot = self._slots.get(slot_key)
+        if slot is None:
+            self._slots[slot_key] = len(entry[1])
+            entry[1].append(moving)
+            entry[2].append(k)
+        else:
+            entry[2][slot] = (entry[2][slot] + k) % order
+
+    def add_gt(self, element: Fp2, exponent: int = 1) -> None:
+        """Multiply ``element^exponent`` (a G_T value) into the product."""
+        k = exponent % self._backend.order
+        if k:
+            self._gt.append(element)
+            self._gt_scalars.append(k)
+
+    def check(self) -> bool:
+        """Whether the accumulated product is the G_T identity."""
+        backend = self._backend
+        p = backend.params.p
+        raw_product: Fp2 | None = None
+        for fixed, moving, scalars in self._pairs.values():
+            table = (
+                backend._pair_tables.get(fixed.encode(), fixed)
+                if fastexp.enabled()
+                else None
+            )
+            if table is not None:
+                # a promoted Miller table makes per-point raw replays
+                # cheap, and folding the scalars over the raw values in
+                # F_{p²} (multiplications) beats folding them over the
+                # curve (one inversion per point addition).  finalexp is
+                # a homomorphism, so finalexp(Π raw_i^{k_i}) equals
+                # finalexp(raw of the source-folded point) — the verdict
+                # is identical either way.
+                raw = multi_operate(
+                    Fp2.one(p),
+                    lambda a, b: a * b,
+                    [table.raw(Q) for Q in moving],
+                    scalars,
+                )
+            else:
+                acc = backend.multi_exp(moving, scalars)
+                if acc.is_infinity:
+                    continue
+                raw = backend._raw_pair(fixed, acc)
+            raw_product = raw if raw_product is None else raw_product * raw
+        value = (
+            Fp2.one(p)
+            if raw_product is None
+            else final_exponentiation(backend.params, raw_product)
+        )
+        if self._gt:
+            value = value * multi_operate(
+                Fp2.one(p), lambda a, b: a * b, self._gt, self._gt_scalars
+            )
+        return value == Fp2.one(p)
+
+
+#: curve identity -> exported table state; consulted by
+#: ``TatePairing.__setstate__`` so the backends unpickled per worker
+#: *chunk* inherit the tables the worker adopted (or warmed) at spawn
+#: instead of rebuilding from nothing every chunk.
+_SHARED_TABLES: dict[tuple, dict] = {}
+
+
+def _table_key(params: CurveParams) -> tuple:
+    return (params.p, params.r, params.generator.encode())
+
+
+def clear_shared_tables() -> None:
+    """Drop the process-level table registry (test isolation)."""
+    _SHARED_TABLES.clear()
 
 
 class TatePairing:
@@ -276,6 +509,14 @@ class TatePairing:
     def __setstate__(self, state) -> None:
         self.__dict__.update(state)
         self._init_caches()
+        shared = _SHARED_TABLES.get(_table_key(self.params))
+        if shared is not None and fastexp.enabled():
+            try:
+                self.install_tables(shared, register=False)
+            except Exception:
+                # a stale or corrupt registry entry must never break
+                # unpickling — the caches just start cold, as before
+                pass
 
     # -- source group -------------------------------------------------------
     def exp(self, base: Point, scalar: int) -> Point:
@@ -360,6 +601,69 @@ class TatePairing:
         for point in points:
             if not point.is_infinity:
                 self._pair_tables.force(point.encode(), point)
+
+    def _raw_pair(self, a: Point, b: Point) -> Fp2:
+        """Pre-final-exponentiation Miller value ``f_{r,a}(ψ(b))``.
+
+        Only meaningful inside a product that is final-exponentiated as
+        a whole (:class:`PairingBatch`) — the raw value is NOT the
+        pairing and is not symmetric in its arguments.
+        """
+        if fastexp.enabled():
+            table = self._pair_tables.get(a.encode(), a)
+            if table is not None:
+                return table.raw(b)
+        return miller_loop(a, b.distort(), self.params.r)
+
+    def pairing_batch(self) -> PairingBatch:
+        """A fresh accumulator for one amortized product-of-pairings check."""
+        return PairingBatch(self)
+
+    # -- table sharing -------------------------------------------------------
+    def _decode_point(self, encoded) -> Point:
+        xa, xb, ya, yb, inf = encoded
+        p = self.params.p
+        if inf:
+            return Point.infinity(p)
+        return Point(Fp2(xa, xb, p), Fp2(ya, yb, p), p)
+
+    def export_tables(self) -> dict:
+        """Resident Miller + point-comb tables as plain picklable state."""
+        return {
+            "pair": [table.to_state() for _, table in self._pair_tables.snapshot()],
+            "exp": [
+                table.to_state(lambda pt: pt.encode())
+                for _, table in self._point_tables.snapshot()
+            ],
+        }
+
+    def install_tables(self, state: dict, *, register: bool = True) -> int:
+        """Adopt exported tables; returns the count installed.
+
+        With *register* (the default) the state is also parked in the
+        process-level registry so backends unpickled later for the same
+        curve (one per worker chunk) attach automatically.
+        """
+        if not fastexp.enabled():
+            return 0
+        installed = 0
+        for table_state in state.get("pair", ()):
+            table = MillerTable.from_state(self.params, table_state)
+            self._pair_tables.install(table.point.encode(), table)
+            installed += 1
+        for table_state in state.get("exp", ()):
+            table = fastexp.GenericFixedBaseTable.from_state(
+                self.identity(), lambda a, b: a + b, self._decode_point, table_state
+            )
+            self._point_tables.install(table.base.encode(), table)
+            installed += 1
+        if register:
+            _SHARED_TABLES[_table_key(self.params)] = state
+        return installed
+
+    def register_shared(self) -> None:
+        """Park this backend's resident tables for same-curve unpickles."""
+        _SHARED_TABLES[_table_key(self.params)] = self.export_tables()
 
     def gt_mul(self, a: Fp2, b: Fp2) -> Fp2:
         return a * b

@@ -24,7 +24,40 @@ import random
 
 from repro.crypto.groups import SchnorrGroup
 
-__all__ = ["ToyPairing"]
+__all__ = ["ToyPairing", "ToyPairingBatch"]
+
+
+class ToyPairingBatch:
+    """Amortized ``Π e(a_i, b_i)^{k_i} · Π t_j^{m_j} == 1`` for the toy map.
+
+    ``e(a, b)^k = g_T^{a·b·k}``, so the whole product-of-pairings side
+    collapses to ONE scalar accumulation mod *r* and a single
+    fixed-base exponentiation — the toy-backend analogue of the Tate
+    backend's shared final exponentiation (same :class:`PairingBatch`
+    interface, consumed blindly by :mod:`repro.ecash.batch`).
+    """
+
+    def __init__(self, backend: "ToyPairing") -> None:
+        self._backend = backend
+        self._scalar = 0
+        self._gt: list[int] = []
+        self._gt_scalars: list[int] = []
+
+    def add_pair(self, fixed: int, moving: int, exponent: int = 1) -> None:
+        self._scalar = (self._scalar + fixed * moving * exponent) % self._backend.order
+
+    def add_gt(self, element: int, exponent: int = 1) -> None:
+        k = exponent % self._backend.order
+        if k:
+            self._gt.append(element)
+            self._gt_scalars.append(k)
+
+    def check(self) -> bool:
+        target = self._backend.target
+        value = target.power_fixed(self._scalar)
+        if self._gt:
+            value = target.mul(value, target.multi_exp(self._gt, self._gt_scalars))
+        return value == 1 % target.p
 
 
 class ToyPairing:
@@ -88,6 +121,10 @@ class ToyPairing:
     def warm_pair(self, *points: int) -> None:
         """Warm the target-group generator table (the only fixed base)."""
         self.target.warm_fixed(self.target.g)
+
+    def pairing_batch(self) -> ToyPairingBatch:
+        """A fresh accumulator for one amortized product-of-pairings check."""
+        return ToyPairingBatch(self)
 
     def gt_mul(self, a: int, b: int) -> int:
         return self.target.mul(a, b)

@@ -17,10 +17,11 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.crypto.batchverify import LinearCheck, linear_check
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.hashing import Transcript
 
-__all__ = ["OrProof", "prove_or", "verify_or"]
+__all__ = ["OrProof", "prove_or", "verify_or", "collect_or"]
 
 
 @dataclass(frozen=True)
@@ -110,6 +111,10 @@ def verify_or(
         return False
     if not all(group.contains(c) for c in proof.commitments):
         return False
+    # statements appear as bases of the batched branch equations — they
+    # must be subgroup members for RLC soundness (honest ones are)
+    if not all(group.contains(y % group.p) for y in statements):
+        return False
     transcript.absorb_ints(base, *statements, *proof.commitments)
     total = transcript.challenge(group.q)
     if sum(proof.challenges) % group.q != total:
@@ -122,3 +127,38 @@ def verify_or(
         if lhs != rhs:
             return False
     return True
+
+
+def collect_or(
+    group: SchnorrGroup,
+    base: int,
+    statements: Sequence[int],
+    proof: OrProof,
+    transcript: Transcript,
+) -> list[LinearCheck] | None:
+    """:func:`verify_or` with the branch equations deferred.
+
+    The challenge split (``Σ e_i ≡ total``), structural shape and all
+    membership checks stay eager — they are cheap and gate the
+    soundness of the deferred form; each branch contributes
+    ``base^{s_i} · R_i^{-1} · Y_i^{-e_i} == 1``.
+    """
+    n = len(statements)
+    if proof.branches != n or len(proof.challenges) != n or len(proof.responses) != n:
+        return None
+    if n == 0:
+        return None
+    if not all(group.contains(c) for c in proof.commitments):
+        return None
+    if not all(group.contains(y % group.p) for y in statements):
+        return None
+    transcript.absorb_ints(base, *statements, *proof.commitments)
+    total = transcript.challenge(group.q)
+    if sum(proof.challenges) % group.q != total:
+        return None
+    return [
+        linear_check(group.p, group.q, [(base, s), (r_commit, -1), (y, -e)])
+        for y, r_commit, e, s in zip(
+            statements, proof.commitments, proof.challenges, proof.responses
+        )
+    ]

@@ -26,11 +26,18 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.crypto.batchverify import LinearCheck, linear_check
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.hashing import Transcript
-from repro.crypto.zkp.or_proof import OrProof, prove_or, verify_or
+from repro.crypto.zkp.or_proof import OrProof, collect_or, prove_or, verify_or
 
-__all__ = ["RangeProof", "commit_value", "prove_range", "verify_range"]
+__all__ = [
+    "RangeProof",
+    "commit_value",
+    "prove_range",
+    "verify_range",
+    "collect_range",
+]
 
 
 @dataclass(frozen=True)
@@ -116,6 +123,10 @@ def verify_range(
         return False
     if not all(group.contains(c) for c in proof.bit_commitments):
         return False
+    # the value commitment is a base of the batched recombination
+    # equation — membership required for RLC soundness (honest ones are)
+    if not group.contains(commitment % group.p):
+        return False
 
     # recombination: Π C_i^{2^i} == C — one shared Straus chain instead
     # of i squarings per bit commitment
@@ -131,3 +142,40 @@ def verify_range(
         if not verify_or(group, h, statements, or_proof, transcript):
             return False
     return True
+
+
+def collect_range(
+    group: SchnorrGroup,
+    g: int,
+    h: int,
+    commitment: int,
+    proof: RangeProof,
+    transcript: Transcript,
+) -> list[LinearCheck] | None:
+    """:func:`verify_range` with every equation deferred.
+
+    Structural and membership checks (and each OR proof's challenge
+    split) run eagerly; the deferred list holds the recombination
+    ``Π C_i^{2^i} · C^{-1} == 1`` followed by every bit's OR branch
+    equations.  Transcript traffic matches :func:`verify_range`
+    exactly, so challenges — and therefore decisions — agree.
+    """
+    if proof.bits == 0 or len(proof.bit_proofs) != proof.bits:
+        return None
+    if not all(group.contains(c) for c in proof.bit_commitments):
+        return None
+    if not group.contains(commitment % group.p):
+        return None
+
+    terms = [(c, 1 << i) for i, c in enumerate(proof.bit_commitments)]
+    terms.append((commitment, -1))
+    checks = [linear_check(group.p, group.q, terms)]
+
+    transcript.absorb_ints(g, h, commitment, *proof.bit_commitments)
+    for c, or_proof in zip(proof.bit_commitments, proof.bit_proofs):
+        statements = [c, group.mul(c, group.inv(g))]
+        branch_checks = collect_or(group, h, statements, or_proof, transcript)
+        if branch_checks is None:
+            return None
+        checks.extend(branch_checks)
+    return checks

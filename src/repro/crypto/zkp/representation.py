@@ -18,10 +18,16 @@ import random
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.crypto.batchverify import LinearCheck, linear_check
 from repro.crypto.groups import SchnorrGroup
 from repro.crypto.hashing import Transcript
 
-__all__ = ["RepresentationProof", "prove_representation", "verify_representation"]
+__all__ = [
+    "RepresentationProof",
+    "prove_representation",
+    "verify_representation",
+    "collect_representation",
+]
 
 
 @dataclass(frozen=True)
@@ -77,6 +83,10 @@ def verify_representation(
         return False
     if not group.contains(proof.commitment):
         return False
+    # the statement is a base of the batched form of the equation — it
+    # must be a subgroup member for RLC soundness (honest ones are)
+    if not group.contains(statement % group.p):
+        return False
     transcript.absorb_ints(*bases, statement, proof.commitment)
     e = transcript.challenge(group.q)
     # bases are market-fixed (tower generators) — comb-cached exps;
@@ -86,3 +96,30 @@ def verify_representation(
         lhs = group.mul(lhs, group.exp_fixed(base, s))
     rhs = group.mul(proof.commitment, group.exp(statement, e))
     return lhs == rhs
+
+
+def collect_representation(
+    group: SchnorrGroup,
+    bases: Sequence[int],
+    statement: int,
+    proof: RepresentationProof,
+    transcript: Transcript,
+) -> list[LinearCheck] | None:
+    """:func:`verify_representation` with the equation deferred.
+
+    Eager structural/membership checks and transcript traffic are
+    identical; the equation returns as
+    ``Π base_i^{s_i} · R^{-1} · C^{-e} == 1``.
+    """
+    if len(proof.responses) != len(bases):
+        return None
+    if not group.contains(proof.commitment):
+        return None
+    if not group.contains(statement % group.p):
+        return None
+    transcript.absorb_ints(*bases, statement, proof.commitment)
+    e = transcript.challenge(group.q)
+    terms = list(zip(bases, proof.responses))
+    terms.append((proof.commitment, -1))
+    terms.append((statement, -e))
+    return [linear_check(group.p, group.q, terms)]

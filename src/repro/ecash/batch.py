@@ -23,18 +23,26 @@ the bank's hot loop.  Two standard techniques cut its cost:
   (:func:`batched_equality_check`).  The two *statement* pairings per
   token remain: the Fiat–Shamir transcript absorbs the encoded
   statement ``V``, so every verifier must materialize it.
-* **Amortized transcript checks** — the remaining Fiat–Shamir
-  sigma-proof verifications are independent and share no state, so
-  they simply run per token; batching them further would need
-  structure our proofs deliberately avoid (shared bases across tokens
-  would link spends).
+* **Sigma-equation RLC** (the default path) — every remaining
+  Fiat–Shamir equation is *linear*: a product of known bases to known
+  exponents equals the identity.  The collectors in
+  :mod:`repro.crypto.zkp` defer them as
+  :class:`~repro.crypto.batchverify.LinearCheck` objects and
+  :class:`~repro.crypto.batchverify.BatchVerifier` folds the whole
+  batch into one Straus multi-exp per group, with 128-bit hashed
+  coefficients and bisection down to exact singleton evaluation on
+  failure.  The bases (``g``, ``h``, per-storey generators, per-token
+  commitments repeated across rounds) merge heavily, which is where
+  the bulk of the speedup lives.
 
-:func:`batch_verify_spends` runs both batched tests and the remaining
-per-token checks.  On any batch-test failure it falls back to
-individual verification to identify the offending tokens — so the
-result is always *identical* to verifying each token alone, just
-faster in the common all-honest case (``4`` pairings per batch plus
-``2`` per token, versus ``5`` per token unbatched).
+:func:`batch_verify_spends` composes these: eager structural checks
+per token, one RLC pass over all sigma equations, then both pairing
+equations of every surviving token settled in a single shared pairing
+product (Miller loops grouped per fixed point, one final
+exponentiation).  Failures bisect with fresh coefficients until
+singletons, which are evaluated exactly — so the verdict list is
+always *identical* to verifying each token alone, just faster in the
+common all-honest case.
 """
 
 from __future__ import annotations
@@ -43,18 +51,24 @@ import random
 from typing import Sequence
 
 from repro.crypto import fastexp
+from repro.crypto.batchverify import BatchVerifier, CoefficientSource
 from repro.crypto.cl_sig import CLPublicKey
 from repro.ecash.spend import (
+    CollectedSpend,
     DECParams,
     DeferredGTCheck,
     SpendToken,
     verify_spend,
+    verify_spend_collect,
     verify_spend_deferred,
 )
 
 __all__ = ["batch_verify_spends", "batched_pairing_check", "batched_equality_check"]
 
 _SMALL_EXP_BITS = 32
+
+_SIGMA_DOMAIN = b"repro.ecash.batch.sigma"
+_PAIRING_DOMAIN = b"repro.ecash.batch.pairing"
 
 
 def _multi_exp(backend, bases, scalars):
@@ -142,6 +156,112 @@ def batched_equality_check(
     return backend.gt_eq(backend.pair(bank_pk.X, acc_point), acc_gt)
 
 
+class _GenericPairingBatch:
+    """Pairing-product accumulator for backends without a native batch.
+
+    Evaluates each pairing as it is added (no Miller-loop sharing) but
+    still lets the caller express the combined equation uniformly; the
+    bundled backends override this with
+    :meth:`~repro.crypto.pairing.tate.TatePairing.pairing_batch`, which
+    shares the final exponentiation and folds scalars into the source
+    group.
+    """
+
+    def __init__(self, backend) -> None:
+        self._backend = backend
+        self._acc = backend.gt_one()
+
+    def add_pair(self, fixed, moving, exponent: int = 1) -> None:
+        backend = self._backend
+        k = exponent % backend.order
+        if k == 0:
+            return
+        term = backend.gt_exp(backend.pair(fixed, moving), k)
+        self._acc = backend.gt_mul(self._acc, term)
+
+    def add_gt(self, element, exponent: int = 1) -> None:
+        backend = self._backend
+        k = exponent % backend.order
+        if k == 0:
+            return
+        self._acc = backend.gt_mul(self._acc, backend.gt_exp(element, k))
+
+    def check(self) -> bool:
+        backend = self._backend
+        return backend.gt_eq(self._acc, backend.gt_one())
+
+
+def _make_pairing_batch(backend):
+    native = getattr(backend, "pairing_batch", None)
+    if native is not None:
+        return native()
+    return _GenericPairingBatch(backend)
+
+
+def _batched_cl_verdicts(
+    params: DECParams,
+    bank_pk: CLPublicKey,
+    collected: Sequence[CollectedSpend | None],
+    live: Sequence[int],
+    source: CoefficientSource,
+) -> dict[int, bool]:
+    """Verdicts for both pairing equations of every *live* token.
+
+    Each token owes two target-group equations:
+
+    * CL well-formedness   ``e(a~, Y) == e(g, b~)``          (equation 0)
+    * deferred equality    ``e(X, b~)^z == R_B · V^e``       (equation 1)
+
+    With per-equation coefficients ``c`` they combine into one pairing
+    product that must equal 1; the backend's batch shares Miller loops
+    per fixed point (``Y``, ``g``, ``X`` — all comb-promoted) and pays
+    one final exponentiation for the whole sub-batch.  A failed product
+    bisects with fresh path-salted coefficients; singletons evaluate
+    the two equations exactly, so per-token decisions match
+    :func:`~repro.ecash.spend.verify_spend` bit for bit.
+    """
+    backend = params.backend
+    order = backend.order
+    verdicts: dict[int, bool] = {}
+    if not live:
+        return verdicts
+    stack: list[tuple[tuple[int, ...], tuple[int, ...]]] = [((), tuple(live))]
+    while stack:
+        path, indices = stack.pop()
+        if len(indices) == 1:
+            item = collected[indices[0]]
+            token = item.token
+            ok = backend.gt_eq(
+                backend.pair(token.sig_a, bank_pk.Y),
+                backend.pair(backend.g, token.sig_b),
+            ) and item.deferred.check(params, bank_pk)
+            verdicts[indices[0]] = ok
+            continue
+        batch = _make_pairing_batch(backend)
+        for i in indices:
+            item = collected[i]
+            token = item.token
+            d = item.deferred
+            # e(Y, a~)^c · e(g, b~)^-c == 1   (pairing symmetry puts the
+            # comb-promoted fixed point first)
+            c1 = source.coefficient(order, i, 0, path)
+            batch.add_pair(bank_pk.Y, token.sig_a, c1)
+            batch.add_pair(backend.g, token.sig_b, -c1)
+            # e(X, b~)^{z·c} · R_B^{-c} · V^{-e·c} == 1
+            c2 = source.coefficient(order, i, 1, path)
+            batch.add_pair(bank_pk.X, d.sig_b, d.response * c2)
+            batch.add_gt(d.commitment_b, -c2)
+            batch.add_gt(d.statement_gt, -(d.challenge * c2))
+        if batch.check():
+            for i in indices:
+                verdicts[i] = True
+        else:
+            mid = len(indices) // 2
+            stack.append((path + (0,), indices[:mid]))
+            stack.append((path + (1,), indices[mid:]))
+    return verdicts
+
+
 def batch_verify_spends(
     params: DECParams,
     bank_pk: CLPublicKey,
@@ -149,28 +269,60 @@ def batch_verify_spends(
     rng: random.Random,
     *,
     context: bytes = b"",
+    sigma_batch: bool = True,
 ) -> list[bool]:
     """Verify many spend tokens; semantically equal to per-token
     :func:`~repro.ecash.spend.verify_spend`, faster when all are honest.
 
-    Returns one verdict per token, in order.
+    Returns one verdict per token, in order.  The default path collects
+    every sigma equation of every token
+    (:func:`~repro.ecash.spend.verify_spend_collect`) and discharges
+    them through one random-linear-combination pass per group — with
+    bisection down to exact singleton evaluation on failure — then
+    settles both pairing equations per token in a single shared pairing
+    product the same way.  *rng* seeds the combining coefficients
+    (hashed, auditable; see :mod:`repro.crypto.batchverify`).
+
+    ``sigma_batch=False`` keeps the older two-stage screen (batched CL
+    pairing test + batched equality test, everything else per token);
+    both paths return identical verdict lists.
     """
     if not tokens:
         return []
-    if not batched_pairing_check(params, bank_pk, tokens, rng):
-        # a cheater is present: fall back to exact per-token verification
-        return [verify_spend(params, bank_pk, token, context=context)
-                for token in tokens]
-    # first pairing equation certified for everyone in 2 pairings
-    # instead of 2n; run everything else per token, deferring each
-    # token's G_T equality equation for one more batched test.
-    deferred = [
-        verify_spend_deferred(params, bank_pk, token, context=context,
-                              skip_cl_pairing_check=True)
+    if not sigma_batch:
+        if not batched_pairing_check(params, bank_pk, tokens, rng):
+            # a cheater is present: fall back to exact per-token verification
+            return [verify_spend(params, bank_pk, token, context=context)
+                    for token in tokens]
+        # first pairing equation certified for everyone in 2 pairings
+        # instead of 2n; run everything else per token, deferring each
+        # token's G_T equality equation for one more batched test.
+        deferred = [
+            verify_spend_deferred(params, bank_pk, token, context=context,
+                                  skip_cl_pairing_check=True)
+            for token in tokens
+        ]
+        live = [d for d in deferred if d is not None]
+        if batched_equality_check(params, bank_pk, live, rng):
+            return [d is not None for d in deferred]
+        # some equality equation is bad: discharge each one individually
+        return [d is not None and d.check(params, bank_pk) for d in deferred]
+
+    seed = rng.getrandbits(256)
+    collected = [
+        verify_spend_collect(params, bank_pk, token, context=context)
         for token in tokens
     ]
-    live = [d for d in deferred if d is not None]
-    if batched_equality_check(params, bank_pk, live, rng):
-        return [d is not None for d in deferred]
-    # some equality equation is bad: discharge each one individually
-    return [d is not None and d.check(params, bank_pk) for d in deferred]
+    sigma = BatchVerifier(seed=seed, domain=_SIGMA_DOMAIN)
+    for i, item in enumerate(collected):
+        if item is not None:
+            sigma.add(i, item.checks)
+    sigma_verdicts = sigma.verify()
+    live = [
+        i for i, item in enumerate(collected)
+        if item is not None and sigma_verdicts[i]
+    ]
+    cl_verdicts = _batched_cl_verdicts(
+        params, bank_pk, collected, live, CoefficientSource(seed, _PAIRING_DOMAIN)
+    )
+    return [cl_verdicts.get(i, False) for i in range(len(tokens))]

@@ -26,15 +26,20 @@ Table I cost of ``(8 + i)`` ZKPs for a depth-*i* node.
 
 from __future__ import annotations
 
+import pickle
 import random
 from dataclasses import dataclass
 
+from repro.crypto import fastexp
+from repro.crypto.batchverify import LinearCheck
 from repro.crypto.cl_sig import CLPublicKey, CLSignature
 from repro.crypto.groups import GroupTower
 from repro.crypto.hashing import Transcript
 from repro.crypto.zkp.committed_double_log import (
     CommittedEdgeProof,
     RevealedEdgeProof,
+    collect_edge,
+    collect_revealed_edge,
     prove_edge,
     prove_revealed_edge,
     verify_edge,
@@ -42,6 +47,7 @@ from repro.crypto.zkp.committed_double_log import (
 )
 from repro.crypto.zkp.equality import (
     EqualityProof,
+    collect_equality,
     prove_equality,
     verify_equality_deferred,
 )
@@ -58,10 +64,14 @@ __all__ = [
     "DECParams",
     "SpendToken",
     "DeferredGTCheck",
+    "CollectedSpend",
     "create_spend",
     "verify_spend",
     "verify_spend_deferred",
+    "verify_spend_collect",
     "warm_verification_tables",
+    "export_verification_tables",
+    "adopt_verification_tables",
 ]
 
 
@@ -436,6 +446,141 @@ def verify_spend_deferred(
     )
 
 
+@dataclass(frozen=True)
+class CollectedSpend:
+    """A token's verification, reduced to data instead of decisions.
+
+    Produced by :func:`verify_spend_collect`: every eager (structural,
+    membership, challenge) check already passed; what remains is the
+    list of deferred sigma equations (``checks``) plus the two pairing
+    equations — the CL well-formedness check, **not** performed here,
+    and the equality proof's target-group equation (``deferred``).  A
+    batch verifier combines many tokens' remainders into a handful of
+    multi-exponentiations and one shared pairing product
+    (:func:`repro.ecash.batch.batch_verify_spends`).
+    """
+
+    token: SpendToken
+    checks: tuple[LinearCheck, ...]
+    deferred: DeferredGTCheck
+
+
+def verify_spend_collect(
+    params: DECParams,
+    bank_pk: CLPublicKey,
+    token: SpendToken,
+    *,
+    context: bytes = b"",
+) -> CollectedSpend | None:
+    """Collect a token's verification equations instead of evaluating them.
+
+    Mirrors :func:`verify_spend_deferred` — same transcript traffic,
+    same eager structural/membership checks, so the Fiat–Shamir
+    challenges (and therefore the equations) are identical — but every
+    sigma-protocol equation is returned as a
+    :class:`~repro.crypto.batchverify.LinearCheck` rather than checked.
+    The CL pairing equation ``e(a~, Y) == e(g, b~)`` is **never**
+    evaluated here (only the non-identity screen on ``a~`` runs); the
+    caller owes it, batched or alone, alongside ``deferred``.
+
+    Returns ``None`` when any eager check fails — such a token is
+    rejected exactly as the sequential verifier rejects it.
+    """
+    backend = params.backend
+    node = token.node
+    if node.level > params.tree_level:
+        return None
+    if len(token.key_commitments) != node.level:
+        return None
+    if backend.element_encode(token.sig_a) == backend.element_encode(backend.identity()):
+        return None
+
+    transcript = _base_transcript(params, bank_pk, node, token.node_key, token.sig_a,
+                                  token.sig_b, token.sig_c, token.commitment_s,
+                                  list(token.key_commitments), context)
+
+    grp0 = params.tower.group(0)
+    g0, h0 = params.commit_bases(0)
+    statement_gt = backend.gt_mul(
+        backend.pair(backend.g, token.sig_c),
+        backend.gt_exp(backend.pair(bank_pk.X, token.sig_a), backend.order - 1),
+    )
+    collected_eq = collect_equality(
+        grp0, g0, h0, token.commitment_s,
+        encode_b=lambda el: _gt_encode(backend, el),
+        statement_b=statement_gt,
+        proof=token.equality,
+        transcript=transcript,
+    )
+    if collected_eq is None:
+        return None
+    challenge, equality_check = collected_eq
+    checks: list[LinearCheck] = [equality_check]
+
+    bits = node.path_bits()
+    depth = node.level
+    if depth >= 1:
+        if len(token.edges) != depth:
+            return None
+        g1, h1 = params.commit_bases(1)
+        edge_checks = collect_edge(
+            grp0, g0, h0, token.commitment_s,
+            params.edge_generator(0, 0),
+            params.tower.group(1), g1, h1, token.key_commitments[0],
+            token.edges[0], transcript,
+        )
+        if edge_checks is None:
+            return None
+        checks.extend(edge_checks)
+        for t in range(1, depth):
+            pg = params.tower.group(t)
+            pgg, pgh = params.commit_bases(t)
+            cg = params.tower.group(t + 1)
+            cgg, cgh = params.commit_bases(t + 1)
+            edge_checks = collect_edge(
+                pg, pgg, pgh, token.key_commitments[t - 1],
+                params.edge_generator(t, bits[t - 1]),
+                cg, cgg, cgh, token.key_commitments[t],
+                token.edges[t], transcript,
+            )
+            if edge_checks is None:
+                return None
+            checks.extend(edge_checks)
+        pg = params.tower.group(depth)
+        pgg, pgh = params.commit_bases(depth)
+        final_checks = collect_revealed_edge(
+            pg, pgg, pgh, token.key_commitments[depth - 1],
+            params.edge_generator(depth, bits[depth - 1]),
+            token.node_key, token.final_edge, transcript,
+        )
+        if final_checks is None:
+            return None
+        checks.extend(final_checks)
+    else:
+        if token.edges:
+            return None
+        final_checks = collect_revealed_edge(
+            grp0, g0, h0, token.commitment_s,
+            params.edge_generator(0, 0),
+            token.node_key, token.final_edge, transcript,
+        )
+        if final_checks is None:
+            return None
+        checks.extend(final_checks)
+
+    return CollectedSpend(
+        token=token,
+        checks=tuple(checks),
+        deferred=DeferredGTCheck(
+            sig_b=token.sig_b,
+            statement_gt=statement_gt,
+            commitment_b=_gt_decode(backend, token.equality.commitment_b),
+            challenge=challenge,
+            response=token.equality.z,
+        ),
+    )
+
+
 def warm_verification_tables(params: DECParams, bank_pk: CLPublicKey | None = None) -> None:
     """Pre-build every fixed-base table the spend/verify hot path hits.
 
@@ -464,6 +609,50 @@ def warm_verification_tables(params: DECParams, bank_pk: CLPublicKey | None = No
         g, h = params.commit_bases(storey)
         gens = tower.extra_generators[storey]
         grp.warm_fixed(grp.g, g, h, gens[GEN_LEFT], gens[GEN_RIGHT])
+
+
+def export_verification_tables(
+    params: DECParams, bank_pk: CLPublicKey | None = None
+) -> bytes:
+    """Serialize every verification precomputation into one blob.
+
+    Warms the tables first (:func:`warm_verification_tables`), then
+    packs the global integer comb cache plus the pairing backend's
+    Miller/fixed-base tables (when the backend supports export) into a
+    picklable payload.  A pooled worker — or a recovering service —
+    adopts the blob with :func:`adopt_verification_tables` instead of
+    re-deriving every table from scratch, which is the dominant cost of
+    a cold worker spawn.  Transport (shared memory, mmap files, digest
+    checking) is :mod:`repro.crypto.tablestore`'s job; this layer only
+    defines the payload.
+    """
+    warm_verification_tables(params, bank_pk)
+    backend = params.backend
+    state: dict = {"version": 1, "int": fastexp.export_int_tables(), "backend": None}
+    export = getattr(backend, "export_tables", None)
+    if export is not None:
+        state["backend"] = export()
+    return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def adopt_verification_tables(params: DECParams, payload: bytes) -> int:
+    """Install a blob from :func:`export_verification_tables`; returns the
+    number of tables adopted (0 while fast-exp is globally disabled).
+
+    Raises ``ValueError`` on an unrecognized payload version — callers
+    (pooled workers) catch and fall back to a local
+    :func:`warm_verification_tables` build, so a corrupt or stale blob
+    degrades to the cold path rather than failing verification.
+    """
+    state = pickle.loads(payload)
+    if not isinstance(state, dict) or state.get("version") != 1:
+        raise ValueError("unrecognized verification-table payload")
+    count = fastexp.install_int_tables(state.get("int") or [])
+    backend_state = state.get("backend")
+    install = getattr(params.backend, "install_tables", None)
+    if backend_state is not None and install is not None:
+        count += install(backend_state)
+    return count
 
 
 # ---------------------------------------------------------------------------

@@ -82,7 +82,8 @@ def fastexp_stats() -> dict[str, dict[str, int]]:
     ``fastexp.int`` (Schnorr-group comb tables), ``tate.pair``
     (precomputed Miller loops) and ``tate.exp`` (curve-point combs),
     each with ``hits``/``misses``/``builds``/``evictions``/
-    ``bypasses``/``tables``.
+    ``bypasses``/``attached``/``tables`` (``attached`` counts tables
+    adopted from a shared blob rather than built locally).
     """
     return fastexp.stats()
 
@@ -113,7 +114,8 @@ def format_fastexp_stats(stats: dict[str, dict[str, int]] | None = None) -> str:
     """Render the cache counters as an ASCII table (current when None)."""
     if stats is None:
         stats = fastexp_stats()
-    cols = ("hits", "misses", "builds", "evictions", "bypasses", "tables")
+    cols = ("hits", "misses", "builds", "evictions", "bypasses", "attached",
+            "tables")
     header = f"{'cache':<14}" + "".join(f"{c:>11}" for c in cols) + f"{'hit_rate':>10}"
     lines = [header, "-" * len(header)]
     for name in sorted(stats):

@@ -40,6 +40,7 @@ from repro.ecash.dec import BlindIssuanceRequest
 from repro.ecash.spend import (
     DECParams,
     SpendToken,
+    adopt_verification_tables,
     verify_spend,
     warm_verification_tables,
 )
@@ -110,9 +111,10 @@ def _batch_worker(point: SweepPoint) -> list:
     rng = random.Random(point.seed)
     tag = point.params[0]
     if tag == "deposit":
-        _, params, bank_pk, tokens, context, pairing_batch = point.params
-        if pairing_batch and len(tokens) > 1:
-            verdicts = batch_verify_spends(params, bank_pk, tokens, rng, context=context)
+        _, params, bank_pk, tokens, context, pairing_batch, sigma_batch = point.params
+        if (pairing_batch or sigma_batch) and len(tokens) > 1:
+            verdicts = batch_verify_spends(params, bank_pk, tokens, rng,
+                                           context=context, sigma_batch=sigma_batch)
         else:
             verdicts = [
                 verify_spend(params, bank_pk, token, context=context)
@@ -151,8 +153,10 @@ class VerificationBatcher:
         max_batch: int = 32,
         processes: int = 1,
         pairing_batch: bool = True,
+        sigma_batch: bool = True,
         seed: int = 0,
         warm_tables: bool = True,
+        tables: bytes | None = None,
         telemetry: "obs.Telemetry | None" = None,
         backend: VerificationBackend | None = None,
     ) -> None:
@@ -163,6 +167,16 @@ class VerificationBatcher:
         self.params = params
         self.keypair = keypair
         self._bind_obs(telemetry)
+        if tables is not None:
+            # a serialized table blob (from a previous incarnation or a
+            # cluster peer) replaces the local warm-up entirely when it
+            # installs cleanly; a stale/corrupt blob falls through to
+            # the ordinary build
+            try:
+                adopt_verification_tables(params, tables)
+                warm_tables = False
+            except Exception:
+                pass
         if warm_tables:
             # build the fixed-base/Miller tables for the bank key and the
             # tower generators up front: steady-state flushes (at least
@@ -182,6 +196,7 @@ class VerificationBatcher:
         self.backend = backend
         self.processes = backend.workers
         self.pairing_batch = pairing_batch
+        self.sigma_batch = sigma_batch
         self._pending: deque[DepositJob | WithdrawJob] = deque()
         self._flush_seed = seed
         self.flushes = 0
@@ -263,6 +278,7 @@ class VerificationBatcher:
                         tuple(job.token for job in chunk),
                         context,
                         self.pairing_batch,
+                        self.sigma_batch,
                     )
                 )
                 chunk_jobs.append(list(chunk))

@@ -524,6 +524,7 @@ class MarketService:
         name: str = SERVICE,
         clock: Callable[[], float] = time.perf_counter,
         telemetry: "obs.Telemetry | None" = None,
+        tables: bytes | None = None,
     ) -> "MarketService":
         """Restart the service from a checkpoint plus the journal.
 
@@ -541,6 +542,13 @@ class MarketService:
            that were in flight mid-batch when the service died — are
            re-enqueued for verification: accepted deposits are never
            lost, merely re-verified.
+
+        *tables* is an optional serialized verification-table blob
+        (:func:`repro.ecash.spend.export_verification_tables`), saved
+        by the previous incarnation or shipped by a cluster peer; the
+        recovering batcher adopts it instead of re-deriving every
+        fixed-base/Miller table, cutting warm-up off the recovery
+        critical path.  Ignored when an explicit *batcher* is passed.
         """
         tel = telemetry if telemetry is not None else obs.get_default()
         with tel.tracer.span("recover", shards=n_shards,
@@ -550,6 +558,10 @@ class MarketService:
                 journal, checkpoint=checkpoint, n_shards=n_shards,
                 telemetry=telemetry,
             )
+            if batcher is None and tables is not None:
+                batcher = VerificationBatcher(
+                    params, keypair, tables=tables, telemetry=telemetry
+                )
             service = cls(bank, transport=transport, batcher=batcher,
                           admission=admission, rng=rng, name=name,
                           clock=clock, telemetry=telemetry)

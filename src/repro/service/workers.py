@@ -37,9 +37,14 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, Sequence
 
 import repro.obs as obs
-from repro.crypto import fastexp
+from repro.crypto import fastexp, tablestore
 from repro.crypto.cl_sig import CLPublicKey
-from repro.ecash.spend import DECParams, warm_verification_tables
+from repro.ecash.spend import (
+    DECParams,
+    adopt_verification_tables,
+    export_verification_tables,
+    warm_verification_tables,
+)
 from repro.metrics.parallel import SweepPoint, env_processes, sweep_points
 
 __all__ = [
@@ -51,17 +56,35 @@ __all__ = [
 
 
 def _warm_worker(params: DECParams, bank_pk: CLPublicKey | None,
-                 fastexp_config: dict) -> None:
+                 fastexp_config: dict,
+                 table_ref: "tablestore.TableRef | None" = None) -> None:
     """Pool initializer: run once in every worker process at start.
 
     Mirrors the parent's fast-exp policy (the child may have been
     spawned, not forked, in which case it read ``REPRO_FASTEXP`` fresh)
-    and pre-builds the fixed-base/Miller tables for the bank key, so
-    the first chunk a worker sees already runs on warm tables.
+    and readies the fixed-base/Miller tables for the bank key, so the
+    first chunk a worker sees already runs on warm tables.  With a
+    *table_ref* the worker *attaches* to the parent's published blob
+    (:mod:`repro.crypto.tablestore`) instead of re-deriving the tables
+    — any load/validation failure silently falls back to the local
+    build, whose tables (and therefore every reply) are identical.
     """
     fastexp.configure(**fastexp_config)
-    if fastexp.enabled():
-        warm_verification_tables(params, bank_pk)
+    if not fastexp.enabled():
+        return
+    if table_ref is not None:
+        try:
+            adopt_verification_tables(params, tablestore.load(table_ref))
+            return
+        except Exception:
+            pass
+    warm_verification_tables(params, bank_pk)
+    # chunks arrive with their own unpickled params/backend copies;
+    # parking the warm tables in the backend's shared registry lets
+    # those copies adopt on __setstate__ instead of rebuilding
+    register = getattr(params.backend, "register_shared", None)
+    if register is not None:
+        register()
 
 
 def _pool_ping(_: int) -> int:
@@ -130,6 +153,7 @@ class PooledBackend(VerificationBackend):
         *,
         processes: int,
         telemetry: "obs.Telemetry | None" = None,
+        share_tables: bool = True,
     ) -> None:
         if processes < 2:
             raise ValueError("PooledBackend needs at least 2 workers; "
@@ -142,10 +166,25 @@ class PooledBackend(VerificationBackend):
         self.fallbacks = 0
         self._bind_obs(telemetry)
         self._worker_ids: dict[int, int] = {}  # pid -> dense worker index
+        # publish the parent's warm tables once; workers attach instead
+        # of rebuilding.  Publication failure is never fatal — workers
+        # fall back to identical local builds.
+        self._store: tablestore.TableStore | None = None
+        table_ref = None
+        if share_tables and fastexp.enabled():
+            store = tablestore.TableStore()
+            try:
+                table_ref = store.publish(
+                    export_verification_tables(params, bank_pk)
+                )
+                self._store = store
+            except Exception:
+                store.close()
+        self.table_ref = table_ref
         self._pool = ProcessPoolExecutor(
             max_workers=processes,
             initializer=_warm_worker,
-            initargs=(params, bank_pk, fastexp.configure()),
+            initargs=(params, bank_pk, fastexp.configure(), table_ref),
         )
         # force the workers up (and warmed) now: a pool that cannot
         # spawn fails construction, not the first real flush
@@ -223,6 +262,9 @@ class PooledBackend(VerificationBackend):
 
     def close(self) -> None:
         self._pool.shutdown(wait=True, cancel_futures=True)
+        if self._store is not None:
+            self._store.close()
+            self._store = None
         self._m_workers.set(0)
 
 
@@ -232,6 +274,7 @@ def make_backend(
     *,
     processes: int | None = None,
     telemetry: "obs.Telemetry | None" = None,
+    share_tables: bool = True,
 ) -> VerificationBackend:
     """The right backend for *processes* workers, degrading gracefully.
 
@@ -245,7 +288,8 @@ def make_backend(
     if n <= 1:
         return InlineBackend()
     try:
-        return PooledBackend(params, bank_pk, processes=n, telemetry=telemetry)
+        return PooledBackend(params, bank_pk, processes=n, telemetry=telemetry,
+                             share_tables=share_tables)
     except Exception:
         # no multiprocessing on this host (sandbox, missing /dev/shm,
         # fork bombs disallowed...): serve inline rather than not at all

@@ -1,0 +1,225 @@
+"""Unit tests for random-linear-combination batch verification."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.batchverify import (
+    COEFFICIENT_BITS,
+    BatchVerifier,
+    CoefficientSource,
+    LinearCheck,
+    linear_check,
+    verify_each,
+)
+from repro.crypto.hashing import Transcript
+from repro.crypto.zkp.schnorr import collect_dlog, prove_dlog, verify_dlog
+
+# tiny Schnorr pair (p = 2q + 1) for canonicalisation tests; the
+# subgroup of squares mod 23 has order 11 and generator 2
+P, Q, G = 23, 11, 2
+
+
+class TestLinearCheck:
+    def test_holds_on_identity(self):
+        check = linear_check(P, Q, [(G, 3), (pow(G, Q - 3, P), 1)])
+        assert check.holds()
+
+    def test_fails_on_nonidentity(self):
+        check = linear_check(P, Q, [(G, 3), (pow(G, Q - 4, P), 1)])
+        assert not check.holds()
+
+    def test_negative_exponents_fold(self):
+        # g^3 · g^{-3} == 1 with the -3 folded to q - 3
+        check = linear_check(P, Q, [(G, 3), (G, -3)])
+        assert all(0 <= e < Q for e in check.exponents)
+        assert check.holds()
+
+    def test_zero_exponent_terms_dropped(self):
+        check = linear_check(P, Q, [(G, 0), (G, Q), (5, 2)])
+        assert check.bases == (5,) and check.exponents == (2,)
+
+    def test_bases_reduced(self):
+        check = linear_check(P, Q, [(G + P, 1)])
+        assert check.bases == (G,)
+
+    def test_rejects_degenerate_modulus(self):
+        with pytest.raises(ValueError):
+            linear_check(1, Q, [(G, 1)])
+        with pytest.raises(ValueError):
+            linear_check(P, 1, [(G, 1)])
+
+
+class TestCoefficientSource:
+    def test_deterministic(self):
+        a = CoefficientSource(seed=1234)
+        b = CoefficientSource(seed=1234)
+        order = (1 << 64) - 59
+        for index in range(8):
+            assert a.coefficient(order, index, 1, (0, 1)) == \
+                b.coefficient(order, index, 1, (0, 1))
+
+    def test_range_never_zero(self):
+        source = CoefficientSource(seed=99)
+        order = (1 << 64) - 59
+        bound = min(1 << COEFFICIENT_BITS, order)
+        for index in range(200):
+            c = source.coefficient(order, index)
+            assert 1 <= c < bound
+
+    def test_position_sensitivity(self):
+        source = CoefficientSource(seed=7)
+        order = (1 << 64) - 59
+        base = source.coefficient(order, 0, 0, ())
+        assert source.coefficient(order, 1, 0, ()) != base
+        assert source.coefficient(order, 0, 1, ()) != base
+        assert source.coefficient(order, 0, 0, (0,)) != base
+
+    def test_seed_sensitivity(self):
+        order = (1 << 64) - 59
+        assert CoefficientSource(seed=1).coefficient(order, 0) != \
+            CoefficientSource(seed=2).coefficient(order, 0)
+
+    def test_tiny_order_degenerates_to_one(self):
+        source = CoefficientSource(seed=5)
+        assert source.coefficient(2, 0) == 1
+        assert source.coefficient(2, 3, 1, (1, 0)) == 1
+
+    def test_bytes_seed_accepted(self):
+        order = (1 << 64) - 59
+        c = CoefficientSource(seed=b"abc").coefficient(order, 0)
+        assert 1 <= c < min(1 << COEFFICIENT_BITS, order)
+
+
+def _dlog_batch(group, rng, n):
+    """n independent Schnorr proofs over *group*; returns per-item
+    (statement, proof) with domain-separated transcripts."""
+    items = []
+    for i in range(n):
+        witness = rng.randrange(1, group.q)
+        statement = group.exp(group.g, witness)
+        transcript = Transcript(b"batchverify-test")
+        transcript.absorb_int(i)
+        proof = prove_dlog(group, group.g, statement, witness, rng, transcript)
+        items.append((statement, proof))
+    return items
+
+
+def _collect(group, items):
+    batches = []
+    for i, (statement, proof) in enumerate(items):
+        transcript = Transcript(b"batchverify-test")
+        transcript.absorb_int(i)
+        checks = collect_dlog(group, group.g, statement, proof, transcript)
+        assert checks is not None
+        batches.append(checks)
+    return batches
+
+
+def _sequential(group, items):
+    verdicts = []
+    for i, (statement, proof) in enumerate(items):
+        transcript = Transcript(b"batchverify-test")
+        transcript.absorb_int(i)
+        verdicts.append(verify_dlog(group, group.g, statement, proof, transcript))
+    return verdicts
+
+
+class TestBatchVerifier:
+    def test_empty(self):
+        verifier = BatchVerifier(seed=1)
+        assert len(verifier) == 0
+        assert verifier.verify() == {}
+
+    def test_item_with_no_checks_accepts(self):
+        verifier = BatchVerifier(seed=1)
+        verifier.add("empty", [])
+        assert verifier.verify() == {"empty": True}
+
+    def test_honest_batch_accepts(self, schnorr_group, rng):
+        items = _dlog_batch(schnorr_group, rng, 6)
+        assert verify_each(_collect(schnorr_group, items), seed=42) == [True] * 6
+
+    @pytest.mark.parametrize("mutate", ["response", "commitment", "statement"])
+    def test_single_mutation_fingered(self, schnorr_group, rng, mutate):
+        import dataclasses
+
+        group = schnorr_group
+        items = _dlog_batch(group, rng, 7)
+        bad = 3
+        statement, proof = items[bad]
+        if mutate == "response":
+            proof = dataclasses.replace(proof, response=(proof.response + 1) % group.q)
+        elif mutate == "commitment":
+            # stays a subgroup member, so only the equation breaks
+            proof = dataclasses.replace(
+                proof, commitment=group.mul(proof.commitment, group.g)
+            )
+        else:
+            statement = group.mul(statement, group.g)
+        items[bad] = (statement, proof)
+
+        verdicts = verify_each(_collect(group, items), seed=rng.getrandbits(256))
+        assert verdicts == _sequential(group, items)
+        assert verdicts[bad] is False
+        assert all(v for i, v in enumerate(verdicts) if i != bad)
+
+    def test_multiple_bad_items_all_fingered(self, schnorr_group, rng):
+        import dataclasses
+
+        group = schnorr_group
+        items = _dlog_batch(group, rng, 8)
+        bad = {1, 4, 6}
+        for i in bad:
+            statement, proof = items[i]
+            items[i] = (statement, dataclasses.replace(
+                proof, response=(proof.response + 1 + i) % group.q))
+        verdicts = verify_each(_collect(group, items), seed=7)
+        assert verdicts == [i not in bad for i in range(len(items))]
+
+    def test_cancellation_pair_does_not_cancel(self, schnorr_group, rng):
+        """Complementary tamperings v and v^-1 across two items must both
+        be caught — per-equation coefficients prevent the cancellation."""
+        group = schnorr_group
+        items = _dlog_batch(group, rng, 2)
+        checks = _collect(group, items)
+        # plant g^+1 into item 0's equation and g^-1 into item 1's
+        c0, c1 = checks[0][0], checks[1][0]
+        checks[0] = [linear_check(group.p, group.q,
+                                  list(zip(c0.bases, c0.exponents)) + [(group.g, 1)])]
+        checks[1] = [linear_check(group.p, group.q,
+                                  list(zip(c1.bases, c1.exponents)) + [(group.g, -1)])]
+        assert verify_each(checks, seed=13) == [False, False]
+
+    def test_singleton_is_exact(self, schnorr_group, rng):
+        import dataclasses
+
+        group = schnorr_group
+        ((statement, proof),) = _dlog_batch(group, rng, 1)
+        bad = dataclasses.replace(proof, response=(proof.response + 1) % group.q)
+        assert verify_each(_collect(group, [(statement, bad)]), seed=0) == [False]
+        assert verify_each(_collect(group, [(statement, proof)]), seed=0) == [True]
+
+    def test_same_seed_same_verdicts(self, schnorr_group, rng):
+        items = _dlog_batch(schnorr_group, rng, 4)
+        batches = _collect(schnorr_group, items)
+        assert verify_each(batches, seed=77) == verify_each(batches, seed=77)
+
+    def test_mixed_groups_in_one_item(self, schnorr_group, rng):
+        """Checks over different (modulus, order) pairs coexist in one
+        batch — each group combines separately."""
+        items = _dlog_batch(schnorr_group, rng, 3)
+        batches = _collect(schnorr_group, items)
+        for checks in batches:
+            checks.append(linear_check(P, Q, [(G, 3), (G, -3)]))
+        assert verify_each(batches, seed=5) == [True, True, True]
+
+    def test_arbitrary_keys(self, schnorr_group, rng):
+        items = _dlog_batch(schnorr_group, rng, 2)
+        batches = _collect(schnorr_group, items)
+        verifier = BatchVerifier(seed=3)
+        verifier.add(("token", 0), batches[0])
+        verifier.add(("token", 1), batches[1])
+        assert verifier.verify() == {("token", 0): True, ("token", 1): True}

@@ -1,0 +1,171 @@
+"""Decision parity for the sigma-equation RLC deposit path.
+
+`batch_verify_spends(sigma_batch=True)` must return exactly the
+verdict list of per-token `verify_spend`, at every batch size the
+batcher grid produces, on both pairing backends, with the fast-exp
+tables on and off — including which planted forgery the bisection
+fingers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.crypto import fastexp
+from repro.crypto.cl_sig import cl_blind_issue, cl_keygen
+from repro.ecash.batch import batch_verify_spends
+from repro.ecash.dec import begin_withdrawal, finish_withdrawal
+from repro.ecash.spend import create_spend, verify_spend
+from repro.ecash.tree import NodeId
+
+BATCH_SIZES = (1, 2, 7, 32)
+
+_FASTEXP_MODES = ("fastexp-on", "fastexp-off")
+
+
+@pytest.fixture(params=_FASTEXP_MODES)
+def fastexp_mode(request):
+    if request.param == "fastexp-on":
+        previous = fastexp.configure(
+            enabled=True, promote_after=0, min_modulus_bits=1
+        )
+    else:
+        previous = fastexp.configure(enabled=False)
+    fastexp.reset()
+    yield request.param
+    fastexp.configure(**previous)
+    fastexp.reset()
+
+
+def _make_stack(params, rng, count=6):
+    bank_kp = cl_keygen(params.backend, rng)
+    secret, request = begin_withdrawal(params, rng)
+    signature = cl_blind_issue(params.backend, bank_kp, request, rng)
+    coin = finish_withdrawal(params, bank_kp.public, secret, signature)
+    tokens = [
+        create_spend(params, bank_kp.public, coin.secret, coin.signature,
+                     NodeId(3, i), rng)
+        for i in range(count)
+    ]
+    return bank_kp, tokens
+
+
+@pytest.fixture(scope="module")
+def tate_stack(dec_params, session_rng):
+    return _make_stack(dec_params, session_rng)
+
+
+@pytest.fixture(scope="module")
+def toy_stack(dec_params_toy, session_rng):
+    return _make_stack(dec_params_toy, session_rng)
+
+
+def _stack_for(backend_name, request):
+    if backend_name == "tate":
+        return request.getfixturevalue("dec_params"), \
+            request.getfixturevalue("tate_stack")
+    return request.getfixturevalue("dec_params_toy"), \
+        request.getfixturevalue("toy_stack")
+
+
+def _cycle(tokens, size):
+    # duplicates are fine: verdicts are positional, and double-spend
+    # detection happens in the bank layer, not in verification
+    return [tokens[i % len(tokens)] for i in range(size)]
+
+
+def _mutate(params, token, kind, delta=1):
+    backend = params.backend
+    if kind == "sig_b":
+        return dataclasses.replace(token, sig_b=backend.exp(token.sig_b, 2 + delta))
+    if kind == "response":
+        return dataclasses.replace(
+            token,
+            equality=dataclasses.replace(token.equality, z=token.equality.z + delta),
+        )
+    if kind == "commitment":
+        group = params.tower.group(token.node.level)
+        return dataclasses.replace(
+            token,
+            commitment_s=group.mul(token.commitment_s, group.exp(group.g, delta)),
+        )
+    raise AssertionError(kind)
+
+
+@pytest.mark.parametrize("backend_name", ["tate", "toy"])
+@pytest.mark.parametrize("size", BATCH_SIZES)
+def test_honest_parity(backend_name, size, fastexp_mode, request, rng):
+    params, (bank_kp, tokens) = _stack_for(backend_name, request)
+    batch = _cycle(tokens, size)
+    verdicts = batch_verify_spends(params, bank_kp.public, batch, rng)
+    assert verdicts == [True] * size
+    assert verdicts == [verify_spend(params, bank_kp.public, t) for t in batch]
+
+
+@pytest.mark.parametrize("backend_name", ["tate", "toy"])
+@pytest.mark.parametrize("kind", ["sig_b", "response", "commitment"])
+@pytest.mark.parametrize("size", BATCH_SIZES)
+def test_planted_forgery_fingered(backend_name, kind, size, fastexp_mode,
+                                  request, rng):
+    params, (bank_kp, tokens) = _stack_for(backend_name, request)
+    batch = _cycle(tokens, size)
+    bad = size // 2
+    batch[bad] = _mutate(params, batch[bad], kind)
+    verdicts = batch_verify_spends(params, bank_kp.public, batch, rng)
+    expected = [verify_spend(params, bank_kp.public, t) for t in batch]
+    assert expected[bad] is False
+    assert verdicts == expected
+    assert verdicts[bad] is False
+    assert all(v for i, v in enumerate(verdicts) if i != bad)
+
+
+@pytest.mark.parametrize("backend_name", ["tate", "toy"])
+def test_multiple_forgeries_all_fingered(backend_name, fastexp_mode,
+                                         request, rng):
+    params, (bank_kp, tokens) = _stack_for(backend_name, request)
+    batch = _cycle(tokens, 8)
+    kinds = {1: "sig_b", 3: "response", 6: "commitment"}
+    for i, kind in kinds.items():
+        batch[i] = _mutate(params, batch[i], kind, delta=1 + i)
+    verdicts = batch_verify_spends(params, bank_kp.public, batch, rng)
+    assert verdicts == [i not in kinds for i in range(len(batch))]
+    assert verdicts == [verify_spend(params, bank_kp.public, t) for t in batch]
+
+
+@pytest.mark.parametrize("backend_name", ["tate", "toy"])
+def test_cancellation_pair_caught(backend_name, fastexp_mode, request, rng):
+    """Complementary sig_b tamperings must not cancel across tokens."""
+    params, (bank_kp, tokens) = _stack_for(backend_name, request)
+    backend = params.backend
+    inv = pow(2, -1, backend.order)
+    bad1 = dataclasses.replace(tokens[0], sig_b=backend.exp(tokens[0].sig_b, 2))
+    bad2 = dataclasses.replace(tokens[1], sig_b=backend.exp(tokens[1].sig_b, inv))
+    verdicts = batch_verify_spends(params, bank_kp.public, [bad1, bad2], rng)
+    assert verdicts == [False, False]
+
+
+@pytest.mark.parametrize("backend_name", ["tate", "toy"])
+def test_seed_determinism(backend_name, fastexp_mode, request):
+    params, (bank_kp, tokens) = _stack_for(backend_name, request)
+    batch = _cycle(tokens, 7)
+    batch[2] = _mutate(params, batch[2], "response")
+    first = batch_verify_spends(params, bank_kp.public, batch, random.Random(11))
+    second = batch_verify_spends(params, bank_kp.public, batch, random.Random(11))
+    assert first == second
+
+
+def test_legacy_path_still_agrees(dec_params, fastexp_mode, request, rng):
+    """sigma_batch=False keeps the PR 2 two-stage screen available and
+    decision-identical."""
+    bank_kp, tokens = request.getfixturevalue("tate_stack")
+    batch = _cycle(tokens, 7)
+    batch[4] = _mutate(dec_params, batch[4], "sig_b")
+    legacy = batch_verify_spends(
+        dec_params, bank_kp.public, batch, rng, sigma_batch=False
+    )
+    rlc = batch_verify_spends(dec_params, bank_kp.public, batch, rng)
+    assert legacy == rlc == [verify_spend(dec_params, bank_kp.public, t)
+                            for t in batch]

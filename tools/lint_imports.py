@@ -60,6 +60,11 @@ MODULE_ALLOWED: dict[str, set[str]] = {
     # the fixed-base table cache is pure arithmetic — no repro imports
     # at all, so crypto/ecash/service can all use it without cycles
     "repro.crypto.fastexp": set(),
+    # the RLC batch verifier is pure arithmetic over LinearChecks; it
+    # must never grow a service- or ecash-layer dependency
+    "repro.crypto.batchverify": {"repro.crypto.fastexp", "repro.crypto.hashing"},
+    # the shared-memory table transport is stdlib-only by design
+    "repro.crypto.tablestore": set(),
 }
 
 
