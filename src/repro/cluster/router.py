@@ -250,6 +250,11 @@ class ClusterProxy:
         self._listener = socket.create_server((host, port))
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
         self._running = True
+        #: requests *handled*, not necessarily *delivered*: incremented
+        #: once _answer returns, before the reply is written to the
+        #: socket (so a client holding a reply always observes the
+        #: count).  A send that then fails still counts — the OSError
+        #: tears the connection down, not the tally.
         self.served = 0
         accept = threading.Thread(target=self._accept_loop,
                                   name="proxy-accept", daemon=True)

@@ -674,6 +674,20 @@ class TatePairing:
     def gt_eq(self, a: Fp2, b: Fp2) -> bool:
         return a == b
 
+    def gt_contains(self, a: Fp2) -> bool:
+        """Membership in ``μ_r``, the order-*r* pairing subgroup of F_{p²}^*.
+
+        Adversarial G_T inputs (a proof's ``R_B``) must pass this gate
+        before entering any random-linear-combination product:
+        F_{p²}^* carries a cofactor ``(p²-1)/r`` component, and a
+        small-order offset would survive the combined check with
+        non-negligible probability (an order-2 factor escapes whenever
+        its coefficient is even — probability 1/2).  Uses a raw field
+        exponentiation: :meth:`gt_exp` reduces exponents mod *r*, which
+        would make ``a^r`` vacuously the identity.
+        """
+        return not a.is_zero() and a.pow(self.order) == Fp2.one(self.params.p)
+
     def gt_one(self) -> Fp2:
         return Fp2.one(self.params.p)
 

@@ -135,6 +135,19 @@ class ToyPairing:
     def gt_eq(self, a: int, b: int) -> bool:
         return a == b
 
+    def gt_contains(self, a: int) -> bool:
+        """Membership in the order-*q* target subgroup of Z_p^*.
+
+        Same contract as the Tate backend's ``μ_r`` test: adversarial
+        G_T values must land in the prime-order subgroup before they may
+        join a random-linear-combination product (Z_p^* has a cofactor
+        component whose small-order elements would escape the combined
+        check).  Congruent-but-unreduced ints are accepted — every other
+        target-group operation reduces mod p, so they behave identically
+        to their reduced form in both sequential and batched checks.
+        """
+        return isinstance(a, int) and self.target.contains(a % self.target.p)
+
     def gt_one(self) -> int:
         return 1
 

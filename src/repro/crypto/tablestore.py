@@ -16,7 +16,10 @@ memory is unusable.  Either way the payload crosses the boundary under
 a versioned header carrying a SHA-256 digest — a torn write, a stale
 segment from a previous incarnation, or a size mismatch fails
 :func:`unpack` loudly, and the worker falls back to a local build
-rather than installing corrupt tables.
+rather than installing corrupt tables.  The digest proves integrity,
+not origin, and the payload is ultimately unpickled — so the file
+fallback is created ``0600`` with ``O_EXCL`` and re-verified on read
+(regular file, owned by this uid) before any byte is trusted.
 
 Crash discipline: the window between *creating* a segment and
 *publishing* its reference is exactly where an operator-visible crash
@@ -33,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import os
 import secrets
+import stat
 import tempfile
 from typing import Callable
 
@@ -170,8 +174,12 @@ class TableStore:
         path = os.path.join(
             tempfile.gettempdir(), f"repro-tables-{secrets.token_hex(8)}.bin"
         )
+        # O_EXCL: never adopt a pre-existing path (the temp dir is
+        # shared, and the blob is unpickled on the reading side); 0600:
+        # only this uid may replace the contents afterwards.
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o600)
         try:
-            with open(path, "wb") as handle:
+            with os.fdopen(fd, "wb") as handle:
                 handle.write(framed)
             if _CRASH_HOOK is not None:
                 _CRASH_HOOK()
@@ -230,7 +238,30 @@ def load(ref: TableRef) -> bytes:
             segment.close()
         return unpack(data)
     if kind == "file":
-        with open(name, "rb") as handle:
-            data = handle.read(size)
+        # the digest in the frame proves integrity, not origin: the blob
+        # is unpickled after validation, so a file an attacker could
+        # plant or rewrite under the shared temp dir would be code
+        # execution.  publish() creates it 0600/O_EXCL; refuse anything
+        # that is not a regular file owned by this uid (symlink swaps
+        # are cut off by O_NOFOLLOW where the platform has it).
+        fd = os.open(name, os.O_RDONLY | getattr(os, "O_NOFOLLOW", 0))
+        try:
+            info = os.fstat(fd)
+            if not stat.S_ISREG(info.st_mode):
+                raise TableStoreError("table file is not a regular file")
+            getuid = getattr(os, "getuid", None)
+            if getuid is not None and info.st_uid != getuid():
+                raise TableStoreError("table file owned by another user")
+            chunks = []
+            remaining = size
+            while remaining > 0:
+                chunk = os.read(fd, remaining)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+                remaining -= len(chunk)
+            data = b"".join(chunks)
+        finally:
+            os.close(fd)
         return unpack(data)
     raise TableStoreError(f"unknown table reference kind {kind!r}")

@@ -132,6 +132,14 @@ def verify_equality_deferred(
     check it directly or hand it to a batch verifier (see
     :func:`repro.ecash.batch.batched_equality_check`).  Returns ``None``
     when any of the performed checks fails.
+
+    This module has no group-B operations, so it cannot validate
+    ``proof.commitment_b`` itself: a caller that *batches* the group-B
+    equation must first membership-check the decoded ``R_B`` against
+    the prime-order subgroup (a cofactor-order offset survives a
+    random linear combination with probability up to 1/2 while the
+    direct check rejects it) — the e-cash layer does this in
+    ``_decode_gt_commitment`` before any deferral.
     """
     bound = 1 << (proof.witness_bits + 2 * _CHALLENGE_BITS + _STAT_BITS)
     if not 0 <= proof.z < bound:

@@ -119,7 +119,9 @@ def verify_range(
     transcript: Transcript,
 ) -> bool:
     """Verify a :func:`prove_range` proof."""
-    if proof.bits == 0 or len(proof.bit_proofs) != proof.bits:
+    # structural: exactly one OR proof per bit commitment (proof.bits is
+    # derived from the commitment tuple, so this pins both lengths)
+    if proof.bits == 0 or len(proof.bit_proofs) != len(proof.bit_commitments):
         return False
     if not all(group.contains(c) for c in proof.bit_commitments):
         return False
@@ -160,7 +162,7 @@ def collect_range(
     equations.  Transcript traffic matches :func:`verify_range`
     exactly, so challenges — and therefore decisions — agree.
     """
-    if proof.bits == 0 or len(proof.bit_proofs) != proof.bits:
+    if proof.bits == 0 or len(proof.bit_proofs) != len(proof.bit_commitments):
         return None
     if not all(group.contains(c) for c in proof.bit_commitments):
         return None

@@ -134,6 +134,13 @@ def batched_equality_check(
     — one pairing total.  ``True`` certifies every equation except with
     probability ``<= n * 2^-32``; ``False`` means at least one is bad
     (callers fall back to :meth:`DeferredGTCheck.check` per token).
+
+    Soundness of the combination relies on every ``commitment_b``
+    lying in the prime-order G_T subgroup — guaranteed because
+    :class:`DeferredGTCheck` construction membership-checks it (a
+    cofactor-order offset, e.g. ``-R_B`` in F_{p²}^*, would otherwise
+    escape the random combination with probability up to 1/2 while
+    sequential verification rejects it).
     """
     backend = params.backend
     if not checks:
@@ -219,6 +226,12 @@ def _batched_cl_verdicts(
     bisects with fresh path-salted coefficients; singletons evaluate
     the two equations exactly, so per-token decisions match
     :func:`~repro.ecash.spend.verify_spend` bit for bit.
+
+    All adversarial G_T inputs here (``d.commitment_b``) were
+    membership-checked against the order-*r* subgroup when collected;
+    ``d.statement_gt`` is verifier-computed from pairings and lands in
+    the subgroup by construction.  That invariant is what makes the
+    small-exponent combination sound in F_{p²}^* (cofactor order).
     """
     backend = params.backend
     order = backend.order

@@ -307,7 +307,7 @@ class DeferredGTCheck:
 
     sig_b: object  # the pairing point of the base B = e(X, b~)
     statement_gt: object  # V, already computed for the transcript
-    commitment_b: object  # R_B, decoded
+    commitment_b: object  # R_B, decoded; subgroup membership checked at build
     challenge: int  # e, recomputed from the transcript
     response: int  # z, the integer response
 
@@ -394,6 +394,11 @@ def verify_spend_deferred(
     )
     if challenge is None:
         return None
+    # R_B is adversarial and will join a batched G_T product; subgroup
+    # membership is required for RLC soundness (see _decode_gt_commitment)
+    commitment_b = _decode_gt_commitment(backend, token.equality.commitment_b)
+    if commitment_b is None:
+        return None
 
     bits = node.path_bits()
     depth = node.level
@@ -440,7 +445,7 @@ def verify_spend_deferred(
     return DeferredGTCheck(
         sig_b=token.sig_b,
         statement_gt=statement_gt,
-        commitment_b=_gt_decode(backend, token.equality.commitment_b),
+        commitment_b=commitment_b,
         challenge=challenge,
         response=token.equality.z,
     )
@@ -515,6 +520,11 @@ def verify_spend_collect(
     if collected_eq is None:
         return None
     challenge, equality_check = collected_eq
+    # same subgroup gate as verify_spend_deferred: R_B enters the
+    # batched pairing product, so membership is a soundness precondition
+    commitment_b = _decode_gt_commitment(backend, token.equality.commitment_b)
+    if commitment_b is None:
+        return None
     checks: list[LinearCheck] = [equality_check]
 
     bits = node.path_bits()
@@ -574,7 +584,7 @@ def verify_spend_collect(
         deferred=DeferredGTCheck(
             sig_b=token.sig_b,
             statement_gt=statement_gt,
-            commitment_b=_gt_decode(backend, token.equality.commitment_b),
+            commitment_b=commitment_b,
             challenge=challenge,
             response=token.equality.z,
         ),
@@ -674,6 +684,45 @@ def _gt_decode(backend, encoded: tuple):
 
         return Fp2(encoded[0], encoded[1], one.p)
     return encoded[0]
+
+
+def _gt_contains(backend, element) -> bool:
+    """Membership of *element* in the prime-order G_T subgroup."""
+    native = getattr(backend, "gt_contains", None)
+    if native is not None:
+        return bool(native(element))
+    # generic fallback: backends may reduce gt_exp exponents mod the
+    # group order (making element^order vacuous), so probe with
+    # order-1 and multiply the element back in — 0 fails (0·0 ≠ 1).
+    probe = backend.gt_mul(backend.gt_exp(element, backend.order - 1), element)
+    return backend.gt_eq(probe, backend.gt_one())
+
+
+def _decode_gt_commitment(backend, encoded):
+    """Decode a proof's target-group commitment ``R_B``; ``None`` when it
+    is malformed or lies outside the prime-order subgroup.
+
+    ``R_B`` is the one *adversarial* G_T value the batched deposit paths
+    feed into a random-linear-combination product
+    (:mod:`repro.ecash.batch`); RLC soundness needs every base inside
+    the order-*r* subgroup — F_{p²}^* (and Z_p^*) carry cofactor
+    components whose small-order elements would escape the combined
+    check with probability up to 1/2 per small prime factor.  The
+    sequential equation rejects such values unconditionally (``B^z``
+    stays in the subgroup, the right side would not), so gating here
+    changes no verdict while restoring the batched paths' documented
+    soundness bound.
+    """
+    if not isinstance(encoded, tuple):
+        return None
+    if len(encoded) != len(_gt_encode(backend, backend.gt_one())):
+        return None
+    if not all(isinstance(v, int) for v in encoded):
+        return None
+    element = _gt_decode(backend, encoded)
+    if not _gt_contains(backend, element):
+        return None
+    return element
 
 
 def _base_transcript(

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import os
+import stat
+import tempfile
 
 import pytest
 
@@ -108,6 +110,62 @@ class TestPublishLoad:
     def test_unknown_ref_kind(self):
         with pytest.raises(TableStoreError, match="unknown"):
             load(("carrier-pigeon", "name", 3))
+
+
+class TestFileFallbackHardening:
+    """The file fallback crosses a shared temp dir and the blob is
+    unpickled after validation — the digest proves integrity, not
+    origin, so creation and read-back must pin the file to this uid."""
+
+    def test_created_private_and_exclusive(self):
+        store = TableStore()
+        try:
+            ref = store.publish(b"blob", prefer_shared_memory=False)
+            mode = stat.S_IMODE(os.stat(ref[1]).st_mode)
+            assert mode == 0o600
+            assert load(ref) == b"blob"
+        finally:
+            store.close()
+
+    def test_preexisting_path_never_adopted(self, monkeypatch):
+        monkeypatch.setattr(tablestore.secrets, "token_hex", lambda n: "pinned")
+        squatted = os.path.join(tempfile.gettempdir(), "repro-tables-pinned.bin")
+        with open(squatted, "wb") as handle:
+            handle.write(b"attacker bytes")
+        try:
+            with pytest.raises(OSError):
+                TableStore().publish(b"blob", prefer_shared_memory=False)
+            # the squatter's file is not ours: publish must not unlink it
+            with open(squatted, "rb") as handle:
+                assert handle.read() == b"attacker bytes"
+        finally:
+            os.unlink(squatted)
+
+    @pytest.mark.skipif(not hasattr(os, "getuid"), reason="POSIX only")
+    def test_foreign_owner_rejected(self, monkeypatch):
+        store = TableStore()
+        try:
+            ref = store.publish(b"blob", prefer_shared_memory=False)
+            real_uid = os.getuid()
+            monkeypatch.setattr(os, "getuid", lambda: real_uid + 1)
+            with pytest.raises(TableStoreError, match="owned"):
+                load(ref)
+        finally:
+            store.close()
+
+    @pytest.mark.skipif(not hasattr(os, "O_NOFOLLOW"), reason="needs O_NOFOLLOW")
+    def test_symlink_rejected(self, tmp_path):
+        framed = pack(b"x")
+        target = tmp_path / "target.bin"
+        target.write_bytes(framed)
+        link = tmp_path / "link.bin"
+        link.symlink_to(target)
+        with pytest.raises(OSError):
+            load(("file", str(link), len(framed)))
+
+    def test_non_regular_file_rejected(self, tmp_path):
+        with pytest.raises((TableStoreError, OSError)):
+            load(("file", str(tmp_path), 8))
 
 
 class TestCrashWindow:

@@ -74,6 +74,31 @@ class TestRangeProof:
         empty = RangeProof(bit_commitments=(), bit_proofs=())
         assert not verify_range(schnorr_group, g, h, c, empty, t())
 
+    def test_rejects_mismatched_list_lengths(self, schnorr_group, bases, rng):
+        """Commitment/OR-proof count mismatches must reject — never
+        crash — and sequential and collect paths must agree."""
+        from repro.crypto.zkp.range_proof import collect_range
+
+        g, h = bases
+        c, r = commit_value(schnorr_group, g, h, 5, rng)
+        proof = prove_range(schnorr_group, g, h, c, 5, r, bits=4, rng=rng, transcript=t())
+        mutations = (
+            dataclasses.replace(proof, bit_proofs=proof.bit_proofs[:-1]),
+            dataclasses.replace(
+                proof, bit_proofs=proof.bit_proofs + (proof.bit_proofs[0],)
+            ),
+            dataclasses.replace(
+                proof, bit_commitments=proof.bit_commitments[:-1]
+            ),
+            dataclasses.replace(
+                proof,
+                bit_commitments=proof.bit_commitments + (proof.bit_commitments[0],),
+            ),
+        )
+        for bad in mutations:
+            assert not verify_range(schnorr_group, g, h, c, bad, t())
+            assert collect_range(schnorr_group, g, h, c, bad, t()) is None
+
     def test_rejects_dropped_bit(self, schnorr_group, bases, rng):
         g, h = bases
         c, r = commit_value(schnorr_group, g, h, 5, rng)

@@ -147,6 +147,81 @@ def test_cancellation_pair_caught(backend_name, fastexp_mode, request, rng):
     assert verdicts == [False, False]
 
 
+def _forge_cofactor_token(params, bank_pk, coin, node, rng, monkeypatch):
+    """A token whose ONLY defect is R_B offset by an order-2 cofactor
+    element (negation).
+
+    The prover runs honestly except that the equality proof's G_T
+    commitment is negated *before* the transcript absorbs it: the
+    Fiat–Shamir challenge, the group-A equation and every edge proof
+    are consistent with the negated encoding, so nothing but the
+    deferred G_T equation (and the subgroup gate) can reject it.
+    Without the μ_r membership check this forgery survives the batched
+    pairing product whenever its random coefficient is even.
+    """
+    import repro.ecash.spend as spend_mod
+
+    orig = spend_mod._gt_encode
+    calls = {"n": 0}
+
+    def crooked(backend, element):
+        enc = orig(backend, element)
+        calls["n"] += 1
+        if calls["n"] == 1:  # prove_equality encodes R_B first
+            p = (backend.params.p if len(enc) == 2 else backend.target.p)
+            return tuple((-v) % p for v in enc)
+        return enc
+
+    monkeypatch.setattr(spend_mod, "_gt_encode", crooked)
+    try:
+        token = create_spend(params, bank_pk, coin.secret, coin.signature,
+                             node, rng)
+    finally:
+        monkeypatch.setattr(spend_mod, "_gt_encode", orig)
+    assert calls["n"] >= 2
+    return token
+
+
+@pytest.mark.parametrize("backend_name", ["tate", "toy"])
+def test_cofactor_offset_commitment_rejected(backend_name, fastexp_mode,
+                                             request, rng, monkeypatch):
+    """An R_B outside the prime-order G_T subgroup must be rejected
+    eagerly — and identically — by every path.
+
+    F_{p²}^* (and Z_p^*) have cofactor order: an order-2 offset on the
+    equality commitment cancels out of the RLC pairing product with
+    probability 1/2 over the coefficient's parity, so without the
+    membership gate the batched verdict diverges from sequential
+    verification on about half the seeds.
+    """
+    from repro.crypto.cl_sig import cl_blind_issue, cl_keygen
+    from repro.ecash.dec import begin_withdrawal, finish_withdrawal
+    from repro.ecash.spend import verify_spend_collect, verify_spend_deferred
+
+    params, (bank_kp, tokens) = _stack_for(backend_name, request)
+    bank_pk = bank_kp.public
+    secret, request_msg = begin_withdrawal(params, rng)
+    signature = cl_blind_issue(params.backend, bank_kp, request_msg, rng)
+    coin = finish_withdrawal(params, bank_pk, secret, signature)
+    forged = _forge_cofactor_token(params, bank_pk, coin, NodeId(3, 1), rng,
+                                   monkeypatch)
+
+    # the subgroup gate rejects at collection, before any batching
+    assert verify_spend(params, bank_pk, forged) is False
+    assert verify_spend_deferred(params, bank_pk, forged) is None
+    assert verify_spend_collect(params, bank_pk, forged) is None
+
+    batch = _cycle(tokens, 5)
+    batch[2] = forged
+    expected = [True, True, False, True, True]
+    for seed in range(8):  # pre-gate, each seed escaped with prob ~1/2
+        assert batch_verify_spends(params, bank_pk, batch,
+                                   random.Random(seed)) == expected
+        assert batch_verify_spends(params, bank_pk, batch,
+                                   random.Random(seed),
+                                   sigma_batch=False) == expected
+
+
 @pytest.mark.parametrize("backend_name", ["tate", "toy"])
 def test_seed_determinism(backend_name, fastexp_mode, request):
     params, (bank_kp, tokens) = _stack_for(backend_name, request)
