@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install dev test bench bench-json service-bench fastexp-bench batchverify-bench report examples lint-imports test-faults coverage obs-demo cluster-demo cluster-smoke clean
+.PHONY: install dev test bench bench-json service-bench fastexp-bench batchverify-bench report examples lint-imports test-faults coverage obs-demo cluster-demo cluster-smoke campaign campaign-smoke clean
 
 # Coverage floor enforced by `make coverage` and the CI coverage job.
 # Measured line coverage of src/repro under the full suite is ~96%;
@@ -67,6 +67,17 @@ cluster-demo:
 # three node processes, then adoption + sweep.
 cluster-smoke:
 	$(PYTHON) tools/cluster_smoke.py
+
+# One seeded mixed adversarial campaign against the live service
+# (~100 parties, seconds).  See docs/simulation.md.
+campaign:
+	PYTHONPATH=src $(PYTHON) tools/run_campaign.py mixed --seed 2015
+
+# The full campaign matrix the CI smoke job and the nightly cron run:
+# every default campaign test plus the thousand-party mixed economy
+# and the socket/cluster backends.
+campaign-smoke:
+	REPRO_CAMPAIGN_SMOKE=1 $(PYTHON) -m pytest tests/sim -q
 
 report:
 	$(PYTHON) -m repro.cli report --out experiment_report.md

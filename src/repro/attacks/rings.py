@@ -1,0 +1,97 @@
+"""Double-spend rings: colluding parties spending one coin node twice.
+
+Paper Section IV-A8 makes identity revelation the deterrent against
+double spending in PPMSdec: leaf serials are deterministic in the coin
+secret, so two spend tokens covering the same leaf *prove* the fraud
+and the bank's evidence names the account that deposited first.
+
+This module mints the adversarial material for that story: a ring
+leader withdraws one divisible coin legitimately (the blind withdrawal
+protocol — the bank cannot refuse), then fences *k* spend tokens of
+the **same wallet node** to k accomplice accounts.  All k tokens
+verify individually (the ZK bundle is valid — the coin is real); only
+the bank's serial store can catch the collision, and at most one
+deposit may ever be admitted.  The campaign simulator asserts exactly
+that, plus the identity revelation carried in the rejection evidence.
+
+The helpers here are thin, deliberately: the ring uses the *honest*
+withdrawal and spend primitives (that is the point of the attack — no
+protocol step is violated until the serial store says so).
+:data:`InsufficientFunds` is re-exported so higher layers that juggle
+wallets through this toolkit can catch allocation failures without
+depending on the ecash layer directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ecash.dec import Coin, begin_withdrawal, finish_withdrawal
+from repro.ecash.spend import DECParams, SpendToken, create_spend
+from repro.ecash.wallet import InsufficientFunds
+
+__all__ = [
+    "InsufficientFunds",
+    "begin_ring_withdrawal",
+    "finish_ring_withdrawal",
+    "conflicting_spends",
+    "evidence_prior_account",
+]
+
+
+def begin_ring_withdrawal(params: DECParams, rng: random.Random):
+    """Start the leader's (entirely honest) blind withdrawal.
+
+    Returns ``(secret, request)``; the request goes to the bank — in
+    the campaign, through the real service's ``withdraw`` endpoint —
+    and the signature comes back blind, so the bank cannot distinguish
+    a ring leader from any other resident.
+    """
+    return begin_withdrawal(params, rng)
+
+
+def finish_ring_withdrawal(params: DECParams, bank_pk, secret, signature) -> Coin:
+    """Unblind the signature into the coin the ring will abuse."""
+    return finish_withdrawal(params, bank_pk, secret, signature)
+
+
+def conflicting_spends(
+    params: DECParams,
+    bank_pk,
+    coin: Coin,
+    *,
+    denomination: int,
+    count: int,
+    rng: random.Random,
+) -> list[SpendToken]:
+    """Mint *count* spend tokens over the **same** node of *coin*.
+
+    Each token is an independently valid spend (fresh ZK randomness,
+    verifies against the bank key); every pair shares the node's leaf
+    serials, so whichever deposits first wins and the rest must be
+    rejected with double-spend evidence naming the winner.
+    """
+    if count < 1:
+        raise ValueError("a ring needs at least one spend")
+    node = coin.wallet().allocate(denomination)
+    return [
+        create_spend(params, bank_pk, coin.secret, coin.signature, node, rng)
+        for _ in range(count)
+    ]
+
+
+def evidence_prior_account(body: dict) -> str | None:
+    """The account the rejection evidence identifies as depositing first.
+
+    *body* is a ``REJECTED`` reply body from the market service; the
+    evidence triple's ``prior`` record leads with the account id — the
+    identity-revelation half of the paper's double-spend story.
+    Returns ``None`` when the body carries no usable evidence.
+    """
+    evidence = body.get("evidence")
+    if not isinstance(evidence, dict):
+        return None
+    prior = evidence.get("prior")
+    if not isinstance(prior, (list, tuple)) or not prior:
+        return None
+    return prior[0]

@@ -49,11 +49,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Request:
-    """One request the generator will submit."""
+    """One request the generator will submit.
+
+    *rid* is the stable request id; ``None`` lets each backend mint
+    its own.  Traces that pin rids replay with exactly-once semantics
+    (retries and duplicates collapse onto one verdict), which is what
+    the campaign engine and the fault scenarios need.
+    """
 
     sender: str
     kind: str
     payload: dict
+    rid: str | None = None
 
 
 @dataclass(frozen=True)
@@ -306,7 +313,8 @@ def run_trace(
     wall_start = time.perf_counter()
     n = min(len(requests), len(arrivals))
     for request, at in zip(requests[:n], arrivals[:n]):
-        service.submit(request.sender, request.kind, request.payload, now=at)
+        service.submit(request.sender, request.kind, request.payload, now=at,
+                       rid=request.rid)
         service.step()
     service.drain()
     wall_end = time.perf_counter()
@@ -390,7 +398,8 @@ def run_socket_trace(
             with sent_lock:
                 start = time.perf_counter()
                 cid = client.send(request.kind, request.payload,
-                                  sender=request.sender, now=at)
+                                  sender=request.sender, now=at,
+                                  rid=request.rid)
                 sent_at[cid] = start
         reader.join(timeout=timeout)
         if reader.is_alive():
@@ -444,7 +453,7 @@ def run_cluster_trace(
         at = arrivals[i] if arrivals is not None else 0.0
         start = time.perf_counter()
         reply = router.request(request.kind, request.payload,
-                               sender=request.sender, now=at)
+                               sender=request.sender, now=at, rid=request.rid)
         done = time.perf_counter()
         status = reply.get("status", "ERROR")
         counts[status] = counts.get(status, 0) + 1

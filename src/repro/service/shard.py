@@ -396,7 +396,8 @@ class ShardedBank:
         merged.deposit_seq = self.deposit_seq
         return merged
 
-    def audit(self, *, outstanding_float: int | None = None) -> AuditReport:
+    def audit(self, *, outstanding_float: int | None = None,
+              allow_foreign_value: bool = False) -> AuditReport:
         """Cross-shard audit: placement invariants + the merged-book audit.
 
         Composes :func:`repro.core.ledger.audit_bank` over the merged
@@ -439,5 +440,6 @@ class ShardedBank:
                         f"{seen_serials[serial]} and {index}"
                     )
                 seen_serials[serial] = index
-        merged_report = audit_bank(self.merged(), outstanding_float=outstanding_float)
+        merged_report = audit_bank(self.merged(), outstanding_float=outstanding_float,
+                                   allow_foreign_value=allow_foreign_value)
         return AuditReport(findings=tuple(findings) + merged_report.findings)

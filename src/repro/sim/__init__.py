@@ -1,5 +1,16 @@
-"""Discrete-event market simulation (events engine + PPMSdec driver)."""
+"""Discrete-event market simulation: events engine, party state
+machines, and the seeded campaign engine over the live service."""
 
+from repro.sim.campaign import (
+    CAMPAIGNS,
+    Campaign,
+    CampaignConfig,
+    denomination_campaign,
+    double_spend_campaign,
+    honest_campaign,
+    mixed_campaign,
+    run_campaign,
+)
 from repro.sim.events import EventQueue, SimulationError
 from repro.sim.market_sim import (
     DepositPolicy,
@@ -7,6 +18,25 @@ from repro.sim.market_sim import (
     SimulationTrace,
     run_timing_attack,
 )
+from repro.sim.party import (
+    IllegalTransition,
+    JobOwnerParty,
+    MaliciousMAParty,
+    MAParty,
+    OmissionSP,
+    Party,
+    PartyContext,
+    PartyEvent,
+    PbsJobOwnerParty,
+    PbsSensingParty,
+    RecordingContext,
+    ReplaySP,
+    RingLeader,
+    RingMember,
+    SensingParty,
+    TERMINAL_STATES,
+)
+from repro.sim.report import CampaignReport, canonical_json
 
 __all__ = [
     "EventQueue",
@@ -15,4 +45,32 @@ __all__ = [
     "MarketSimulation",
     "SimulationTrace",
     "run_timing_attack",
+    # party machines
+    "Party",
+    "PartyContext",
+    "PartyEvent",
+    "IllegalTransition",
+    "RecordingContext",
+    "TERMINAL_STATES",
+    "JobOwnerParty",
+    "SensingParty",
+    "OmissionSP",
+    "ReplaySP",
+    "RingLeader",
+    "RingMember",
+    "MAParty",
+    "MaliciousMAParty",
+    "PbsJobOwnerParty",
+    "PbsSensingParty",
+    # campaigns
+    "Campaign",
+    "CampaignConfig",
+    "CampaignReport",
+    "canonical_json",
+    "run_campaign",
+    "honest_campaign",
+    "denomination_campaign",
+    "double_spend_campaign",
+    "mixed_campaign",
+    "CAMPAIGNS",
 ]

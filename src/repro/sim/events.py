@@ -42,7 +42,12 @@ class EventQueue:
         self.executed = 0
 
     def schedule(self, at: float, action: Callable[[], None]) -> None:
-        """Enqueue *action* for simulated time *at*."""
+        """Enqueue *action* for simulated time *at*.
+
+        Same-time events run in insertion order (FIFO via the monotone
+        ``seq``) — the contract that lets "immediate" policies schedule
+        at exactly ``now + 0.0`` and stay deterministic.
+        """
         if at < self.now:
             raise SimulationError(
                 f"cannot schedule at {at:.4f}: clock already at {self.now:.4f}"

@@ -43,13 +43,16 @@ class DepositPolicy:
     between_wait_mean: float = 0.0
 
     def initial_wait(self, rng: random.Random) -> float:
+        # "immediate" means exactly now: the event queue breaks same-time
+        # ties FIFO, so no jitter is needed to keep ordering deterministic
+        # (the old uniform(0, 1e-6) fuzz also silently consumed rng state)
         if self.initial_wait_mean <= 0:
-            return rng.uniform(0, 1e-6)
+            return 0.0
         return rng.expovariate(1.0 / self.initial_wait_mean)
 
     def between_wait(self, rng: random.Random) -> float:
         if self.between_wait_mean <= 0:
-            return rng.uniform(0, 1e-6)
+            return 0.0
         return rng.expovariate(1.0 / self.between_wait_mean)
 
     @classmethod

@@ -1,0 +1,134 @@
+"""Structured campaign reports: detections, conservation, replay.
+
+A :class:`CampaignReport` is the single artifact a campaign run
+produces.  It is **canonical**: :meth:`CampaignReport.to_json` sorts
+keys, uses compact separators, and normalizes every value (bytes to
+hex, tuples to lists), so two runs of the same seeded campaign must
+produce byte-identical JSON — that equality *is* the replay regression
+test.  On failure, :meth:`summary` embeds the seed and the exact
+command that reproduces the run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["CampaignReport", "canonical_json"]
+
+
+def _normalize(value: Any) -> Any:
+    """Fold a report value onto the JSON-stable subset."""
+    if isinstance(value, dict):
+        return {str(k): _normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_normalize(v) for v in value)
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, float):
+        # repr-stable floats; -0.0 would print differently from 0.0
+        return value + 0.0
+    return value
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON: sorted keys, compact, normalized values."""
+    return json.dumps(_normalize(data), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class CampaignReport:
+    """Everything one campaign run produced, in replayable form."""
+
+    name: str
+    seed: int
+    config: dict[str, Any]
+    backend: str
+    n_parties: int = 0
+    n_events: int = 0
+    #: sha256 over the (time, party, kind) event trace — the cheap
+    #: equality witness for "same seed, same run"
+    trace_digest: str = ""
+    #: per-party outcome ledger, keyed by party name
+    parties: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: terminal statuses of every service request, by status
+    verdicts: dict[str, int] = field(default_factory=dict)
+    #: adversary detection metrics, by attack family
+    detections: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: economy-wide value accounting
+    conservation: dict[str, Any] = field(default_factory=dict)
+    #: findings from the post-run invariant sweeps (empty = clean)
+    invariants: tuple[str, ...] = ()
+    #: crypto-op tallies accumulated by the parties, party -> op -> n
+    opcounts: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """No invariant findings and the economy balanced."""
+        return not self.invariants and bool(self.conservation.get("conserved", False))
+
+    def replay_command(self) -> str:
+        return (
+            f"python tools/run_campaign.py {self.name} "
+            f"--seed {self.seed} --backend {self.backend}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "config": self.config,
+            "backend": self.backend,
+            "n_parties": self.n_parties,
+            "n_events": self.n_events,
+            "trace_digest": self.trace_digest,
+            "parties": self.parties,
+            "verdicts": self.verdicts,
+            "detections": self.detections,
+            "conservation": self.conservation,
+            "invariants": list(self.invariants),
+            "opcounts": self.opcounts,
+            "clean": self.clean,
+        }
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    def digest(self) -> str:
+        """sha256 of the canonical JSON — the byte-for-byte identity."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    def summary(self) -> str:
+        """Human-oriented digest; embeds seed + replay command on failure."""
+        verdicts = ", ".join(
+            f"{n} {status}" for status, n in sorted(self.verdicts.items())
+        ) or "none"
+        lines = [
+            f"campaign {self.name!r} (seed {self.seed}, backend {self.backend}): "
+            f"{self.n_parties} parties, {self.n_events} events",
+            f"verdicts: {verdicts}",
+        ]
+        for family, metrics in sorted(self.detections.items()):
+            pretty = ", ".join(f"{k}={metrics[k]}" for k in sorted(metrics))
+            lines.append(f"{family}: {pretty}")
+        if self.conservation:
+            status = "closed" if self.conservation.get("conserved") else "BROKEN"
+            lines.append(
+                f"conservation {status}: funded {self.conservation.get('funded')}"
+                f", final {self.conservation.get('final')}"
+                f", outstanding {self.conservation.get('outstanding')}"
+            )
+        if self.clean:
+            lines.append("invariant sweep: clean")
+        else:
+            lines.append("invariant findings:")
+            lines.extend(f"  - {finding}" for finding in self.invariants)
+            lines.append(
+                f"replay: {self.replay_command()}  (seed {self.seed} "
+                "reproduces the identical trace and report)"
+            )
+        return "\n".join(lines)

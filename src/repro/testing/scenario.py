@@ -53,13 +53,29 @@ from repro.testing.invariants import check_recovery_invariants
 
 __all__ = [
     "DepositKit",
+    "PbsDepositService",
     "PbsKit",
     "ScenarioResult",
     "build_deposit_kit",
     "build_pbs_kit",
     "run_deposit_scenario",
     "run_pbs_scenario",
+    "toy_market_params",
 ]
+
+
+def toy_market_params(
+    rng: random.Random, *, level: int = 3
+) -> tuple[DECParams, CLKeyPair]:
+    """The toy PPMSdec substrate every fast harness shares.
+
+    One recipe — :func:`build_deposit_kit`'s defaults, the campaign
+    engine's substrate, the conftest fixtures — so a seed means the
+    same parameters everywhere.  Toy sizes only: 64-bit security, fake
+    pairing, 4 edge rounds.
+    """
+    params = setup(level, rng, security_bits=64, real_pairing=False, edge_rounds=4)
+    return params, cl_keygen(params.backend, rng)
 
 
 # ---------------------------------------------------------------------------
@@ -177,7 +193,9 @@ def build_deposit_kit(
     if n_accounts < 1 or n_deposits < 1:
         raise ValueError("need at least one account and one deposit")
     if params is None:
-        params = setup(3, rng, security_bits=64, real_pairing=False, edge_rounds=4)
+        params, generated = toy_market_params(rng)
+        if keypair is None:
+            keypair = generated
     if keypair is None:
         keypair = cl_keygen(params.backend, rng)
     level = params.tree_level
@@ -468,7 +486,7 @@ def build_pbs_kit(
     )
 
 
-class _PbsDepositService:
+class PbsDepositService:
     """Minimal journaled deposit endpoint over :class:`VirtualBankPbs`.
 
     The same write-ahead discipline as :class:`MarketService`, scaled
@@ -476,16 +494,20 @@ class _PbsDepositService:
     → journal the ``reply`` → send.  Request-id dedupe gives retries
     their cached verdicts, so at-least-once delivery stays exactly-once
     on the books.
+
+    Public because the campaign engine (:mod:`repro.sim.campaign`)
+    drives PPMSpbs lifecycles against it; the fault scenarios here keep
+    using it through the same interface.
     """
 
     def __init__(self, bank: VirtualBankPbs, journal: Journal,
-                 transport: Transport) -> None:
+                 transport: Transport | None = None) -> None:
         self.bank = bank
         self.journal = journal
         # the journal carries the scenario's telemetry stack; sharing it
         # keeps pbs submit spans and journal_append spans on one tracer
         self.obs = journal.obs
-        self.transport = transport
+        self.transport = transport if transport is not None else Transport()
         self._replies: dict[str, tuple[str, dict]] = {}
 
     @staticmethod
@@ -498,7 +520,7 @@ class _PbsDepositService:
 
     @classmethod
     def boot(cls, kit: PbsKit, journal: Journal,
-             transport: Transport) -> "_PbsDepositService":
+             transport: Transport) -> "PbsDepositService":
         return cls(cls._fresh_bank(kit), journal, transport)
 
     @classmethod
@@ -509,7 +531,7 @@ class _PbsDepositService:
         transport: Transport,
         *,
         checkpoint: Checkpoint | None = None,
-    ) -> "_PbsDepositService":
+    ) -> "PbsDepositService":
         """Rebuild from the checkpoint plus the journal tail."""
         bank = cls._fresh_bank(kit)
         start = -1
@@ -606,12 +628,16 @@ class _PbsDepositService:
         return status
 
 
-def _pbs_findings(service: _PbsDepositService, kit: PbsKit,
+#: legacy private name, kept for older harness code
+_PbsDepositService = PbsDepositService
+
+
+def _pbs_findings(service: PbsDepositService, kit: PbsKit,
                   journal: Journal) -> list[str]:
     """PBS analogue of the recovery invariants: audit + journal agreement."""
     findings = list(audit_pbs_bank(service.bank).findings)
-    shadow = _PbsDepositService._fresh_bank(kit)
-    _PbsDepositService._replay_into(shadow, journal, -1)
+    shadow = PbsDepositService._fresh_bank(kit)
+    PbsDepositService._replay_into(shadow, journal, -1)
     live = service.bank
     if live.accounts != shadow.accounts:
         findings.append(
@@ -652,11 +678,11 @@ def run_pbs_scenario(
     clock = FaultClock(plan.crash_points)
     checkpoint: Checkpoint | None = None
     findings: list[str] = []
-    service = _PbsDepositService.boot(kit, journal, FaultyTransport(clock))
+    service = PbsDepositService.boot(kit, journal, FaultyTransport(clock))
 
-    def recover() -> _PbsDepositService:
+    def recover() -> PbsDepositService:
         result.recoveries += 1
-        recovered = _PbsDepositService.recover(
+        recovered = PbsDepositService.recover(
             kit, journal, FaultyTransport(clock), checkpoint=checkpoint
         )
         findings.extend(

@@ -121,3 +121,16 @@ def dec_params_toy(session_rng) -> DECParams:
     from repro.ecash.dec import setup
 
     return setup(4, session_rng, security_bits=80, real_pairing=False, edge_rounds=6)
+
+
+@pytest.fixture(scope="session")
+def campaign_substrate(session_rng):
+    """Shared toy ``(params, keypair)`` for the campaign-engine tests.
+
+    Derived from the session seed so every campaign test (and the
+    byte-for-byte replay regression) runs over one deterministic
+    substrate instead of regrowing group towers per test.
+    """
+    from repro.testing.scenario import toy_market_params
+
+    return toy_market_params(random.Random(f"campaign:{SESSION_SEED!r}"))

@@ -1,0 +1,256 @@
+"""Property tests for the campaign party state machines.
+
+The machines must be total: ANY interleaving of deliveries, timeouts,
+crashes, and garbage payloads leaves a party in a declared-legal state
+without raising — Byzantine peers get to send anything.  The
+:class:`~repro.sim.party.RecordingContext` stubs conserve integer
+value, so a completed honest lifecycle is also checkable for exact
+wallet conservation without touching any cryptography.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.party import (
+    JobOwnerParty,
+    MaliciousMAParty,
+    MAParty,
+    OmissionSP,
+    PartyEvent,
+    PbsJobOwnerParty,
+    PbsSensingParty,
+    RecordingContext,
+    ReplaySP,
+    RingLeader,
+    RingMember,
+    SensingParty,
+    TERMINAL_STATES,
+)
+
+
+# ---------------------------------------------------------------------------
+# roster factories: every party shape the campaign can build
+# ---------------------------------------------------------------------------
+
+def _factories():
+    return [
+        ("jo", lambda ctx: JobOwnerParty(
+            "jo", ctx, job_id="job-0", payment=3,
+            sp_names=("sp0", "sp1"), funds=3 * ctx.coin_value)),
+        ("sp", lambda ctx: SensingParty("sp", ctx)),
+        ("sp-omission", lambda ctx: OmissionSP("sp", ctx)),
+        ("sp-replay", lambda ctx: ReplaySP("sp", ctx)),
+        ("ring-leader", lambda ctx: RingLeader(
+            "leader", ctx, members=("m0", "m1"))),
+        ("ring-member", lambda ctx: RingMember("m0", ctx)),
+        ("ma", lambda ctx: MAParty("ma", ctx)),
+        ("ma-malicious", lambda ctx: MaliciousMAParty("ma", ctx)),
+        ("pbs-jo", lambda ctx: PbsJobOwnerParty(
+            "pjo", ctx, job_id="pjob-0", sp_names=("psp0",), funds=2)),
+        ("pbs-sp", lambda ctx: PbsSensingParty("psp", ctx)),
+    ]
+
+
+FACTORIES = _factories()
+
+#: every event kind any machine handles, plus protocol noise
+ALL_KINDS = sorted(
+    {k for _, f in FACTORIES for k in f(RecordingContext()).HANDLERS}
+    | {"timeout", "crash", "no-such-kind"}
+)
+
+#: payloads from well-formed through subtly wrong to pure garbage
+PAYLOADS = st.one_of(
+    st.none(),
+    st.integers(),
+    st.just({}),
+    st.just({"sp": "x", "sp_pubkey": "k"}),
+    st.just({"jo": "jo", "job": "j", "payment": 2, "jo_pubkey": "k"}),
+    st.just({"jo": "jo", "job": "j", "payment": "lots", "jo_pubkey": "k"}),
+    st.just({"ciphertext": "junk", "jo_pubkey": "k"}),
+    st.just({"rid": "r", "token_index": 0}),
+    st.just({"rid": "r", "token_index": 99}),
+    st.just({"rid": "r", "token_index": "zero"}),
+    st.just({"token": 1}),
+    st.just({"job": "j", "payment": 2}),
+    st.just({"job": "j", "payment": -5}),
+    st.just({"aid": "a", "amount": 3}),
+    st.just({"aid": "a", "amount": "three"}),
+    st.just({"truth": {}}),
+    st.just({"truth": 41}),
+    st.just({"sp": "x", "ciphertext": "c"}),
+    st.just({"sp": "x", "blinded": 1, "serial": b"s"}),
+    st.just({"pbs": "sig", "ctr": 0}),
+    st.just({"rid": "r"}),
+    st.dictionaries(st.text(max_size=4), st.integers(), max_size=3),
+)
+
+EVENTS = st.lists(
+    st.tuples(st.sampled_from(ALL_KINDS), PAYLOADS), min_size=0, max_size=14
+)
+
+
+@settings(max_examples=60)
+@given(idx=st.integers(0, len(FACTORIES) - 1), events=EVENTS,
+       seed=st.integers(0, 2**16))
+def test_any_interleaving_leaves_a_legal_state(idx, events, seed):
+    """Deliver anything in any order: no exception, state stays declared."""
+    role, factory = FACTORIES[idx]
+    ctx = RecordingContext(seed)
+    party = factory(ctx)
+    legal = party.legal_states()
+    crashed = False
+    for kind, payload in events:
+        was_terminal = party.terminal
+        state_before = party.state
+        party.handle(PartyEvent(kind, payload))
+        assert party.state in legal, (role, kind, party.state)
+        if kind == "crash":
+            crashed = True
+        if crashed:
+            assert party.state == "crashed"
+        if was_terminal and kind != "crash":
+            assert party.state == state_before  # terminal states absorb
+    assert party.handled == len(events)
+
+
+@settings(max_examples=25)
+@given(idx=st.integers(0, len(FACTORIES) - 1), events=EVENTS)
+def test_crash_dominates_from_any_state(idx, events):
+    _, factory = FACTORIES[idx]
+    party = factory(RecordingContext())
+    for kind, payload in events:
+        party.handle(PartyEvent(kind, payload))
+    party.handle(PartyEvent("crash"))
+    assert party.state == "crashed"
+    party.handle(PartyEvent("start"))
+    assert party.state == "crashed"
+
+
+def test_timeout_is_ignored_before_start_and_aborts_mid_protocol():
+    ctx = RecordingContext()
+    sp = SensingParty("sp", ctx)
+    sp.handle(PartyEvent("timeout"))
+    assert sp.state == "idle"  # nothing owed yet: silence is fine
+    sp.handle(PartyEvent("recruit", {
+        "jo": "jo", "job": "j", "payment": 2, "jo_pubkey": "k"}))
+    assert sp.state == "registered"
+    sp.handle(PartyEvent("timeout"))
+    assert sp.state == "aborted"
+
+
+# ---------------------------------------------------------------------------
+# honest lifecycle over the value-conserving stubs
+# ---------------------------------------------------------------------------
+
+def _pump(ctx: RecordingContext, parties: dict) -> int:
+    """Deliver every recorded send, FIFO, until the roster quiesces."""
+    cursor = 0
+    while cursor < len(ctx.sent):
+        to, kind, payload, _delay = ctx.sent[cursor]
+        cursor += 1
+        assert cursor < 10_000, "roster never quiesced"
+        party = parties.get(to)
+        if party is not None:
+            party.handle(PartyEvent(kind, payload))
+    return cursor
+
+
+@settings(max_examples=30)
+@given(n_sps=st.integers(1, 4), payment=st.integers(1, 8),
+       seed=st.integers(0, 2**16))
+def test_honest_dec_lifecycle_conserves_wallet_value(n_sps, payment, seed):
+    """Complete JO+SPs run: every unit funded is on some account after."""
+    ctx = RecordingContext(seed)
+    sp_names = tuple(f"sp{j}" for j in range(n_sps))
+    funds = (n_sps + 1) * ctx.coin_value
+    jo = JobOwnerParty("jo", ctx, job_id="job-0", payment=payment,
+                       sp_names=sp_names, funds=funds)
+    parties = {"jo": jo}
+    for name in sp_names:
+        parties[name] = SensingParty(name, ctx)
+    jo.handle(PartyEvent("start"))
+    _pump(ctx, parties)
+
+    assert jo.state == "done"
+    assert all(parties[n].state == "done" for n in sp_names)
+    assert jo.paid_sps == n_sps
+    assert jo.paid_value == payment * n_sps
+    # the withdrawn coins split exactly into payments plus change
+    assert jo.paid_value + jo.change_value == jo.withdrawn * ctx.coin_value
+    # economy-wide: nothing minted, nothing burned
+    assert sum(ctx.accounts.values()) == funds
+    for name in sp_names:
+        assert ctx.accounts[name] == payment
+
+
+@settings(max_examples=15)
+@given(seed=st.integers(0, 2**16))
+def test_omission_sp_leaves_value_outstanding(seed):
+    ctx = RecordingContext(seed)
+    jo = JobOwnerParty("jo", ctx, job_id="job-0", payment=4,
+                       sp_names=("sp0",), funds=2 * ctx.coin_value)
+    sp = OmissionSP("sp0", ctx)
+    jo.handle(PartyEvent("start"))
+    _pump(ctx, {"jo": jo, "sp0": sp})
+    assert sp.state == "silent"
+    assert not ctx.deposits  # the payment value never reached the bank
+    assert sum(ctx.accounts.values()) == 2 * ctx.coin_value - 4
+
+
+def test_replay_sp_deposits_every_token_twice():
+    ctx = RecordingContext(3)
+    jo = JobOwnerParty("jo", ctx, job_id="job-0", payment=3,
+                       sp_names=("sp0",), funds=2 * ctx.coin_value)
+    sp = ReplaySP("sp0", ctx)
+    jo.handle(PartyEvent("start"))
+    _pump(ctx, {"jo": jo, "sp0": sp})
+    assert sp.state == "done"
+    honest = [rid for _, rid, _ in ctx.deposits if ":dep:" in rid]
+    replays = [rid for _, rid, _ in ctx.deposits if ":replay:" in rid]
+    assert len(honest) == len(replays) == 3
+    assert sp.replay_rids == replays
+
+
+def test_ring_fences_conflicting_tokens_to_every_member():
+    ctx = RecordingContext(5)
+    members = ("m0", "m1")
+    leader = RingLeader("leader", ctx, members=members, denomination=1)
+    parties = {"leader": leader}
+    for name in members:
+        parties[name] = RingMember(name, ctx)
+        parties[name].handle(PartyEvent("start"))
+    leader.handle(PartyEvent("start"))
+    _pump(ctx, parties)
+    assert leader.state == "done"
+    assert all(parties[m].state == "done" for m in members)
+    deposited = [token for _, _, token in ctx.deposits]
+    assert len(deposited) == 3  # one per ring account, all the same node
+    assert len({t[2] for t in deposited}) == 1  # identical denomination
+
+
+def test_pbs_lifecycle_reaches_deposit():
+    ctx = RecordingContext(9)
+    jo = PbsJobOwnerParty("pjo", ctx, job_id="pjob", sp_names=("psp",), funds=2)
+    sp = PbsSensingParty("psp", ctx)
+    jo.handle(PartyEvent("start"))
+    _pump(ctx, {"pjo": jo, "psp": sp})
+    assert jo.state == "done" and jo.signed == 1
+    assert sp.state == "done" and sp.deposit_status == "OK"
+    assert [rid for _, rid, _ in ctx.pbs_deposits] == ["psp:pbs"]
+
+
+def test_malicious_ma_scores_only_accounts_with_ground_truth():
+    ctx = RecordingContext(1)
+    ma = MaliciousMAParty("ma", ctx)
+    ma.handle(PartyEvent("start"))
+    ma.handle(PartyEvent("observe-job", {"job": "j0", "payment": 3}))
+    ma.handle(PartyEvent("observe-job", {"job": "j1", "payment": 5}))
+    for aid, amounts in (("sp0", [2, 1]), ("ring0", [1]), ("sp1", [4, 1])):
+        for amount in amounts:
+            ma.handle(PartyEvent("observe-deposit", {"aid": aid, "amount": amount}))
+    ma.handle(PartyEvent("conclude", {"truth": {"sp0": "j0", "sp1": "j1"}}))
+    assert ma.state == "done"
+    assert set(ma.results) == {"sp0", "sp1"}  # ring0 has no job to link
+    assert all(r.true_job_covered for r in ma.results.values())

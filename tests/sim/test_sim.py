@@ -94,6 +94,30 @@ class TestDepositPolicy:
         assert all(w >= 0 for w in waits)
         assert sum(waits) / len(waits) > 1.0  # mean ~5
 
+    def test_immediate_is_exactly_zero_and_leaves_rng_untouched(self, rng):
+        """Regression: ``immediate()`` used to return ``rng.uniform(0, 1e-6)``,
+        which both perturbed event times and silently consumed RNG state
+        (shifting every later draw).  The EventQueue FIFO tiebreaker makes
+        the jitter unnecessary, so the waits must be exact zeros."""
+        policy = DepositPolicy.immediate()
+        before = rng.getstate()
+        assert policy.initial_wait(rng) == 0.0
+        assert policy.between_wait(rng) == 0.0
+        assert rng.getstate() == before
+
+    def test_immediate_deposits_resolve_in_fifo_order(self):
+        """Two same-time immediate deposits fire in scheduling order."""
+        policy = DepositPolicy.immediate()
+        rng = random.Random(0)
+        queue = EventQueue()
+        fired: list[str] = []
+        for name in ("first", "second", "third"):
+            queue.schedule_in(
+                policy.between_wait(rng), lambda name=name: fired.append(name)
+            )
+        queue.run()
+        assert fired == ["first", "second", "third"]
+
 
 class TestMarketSimulation:
     def test_jobs_complete_and_books_balance(self, dec_params_toy, rng):

@@ -38,7 +38,10 @@ ALLOWED: dict[str, set[str]] = {
     "core": {"crypto", "ecash", "metrics", "net"},
     "attacks": {"core", "crypto", "ecash", "net"},
     "workloads": {"net"},
-    "sim": {"attacks", "core"},
+    # the campaign engine drives the real service and the invariant
+    # sweeps; crypto/ecash stay reachable only through those layers
+    # (the cluster backend is a sanctioned lazy import)
+    "sim": {"attacks", "core", "service", "testing"},
     "service": {"core", "crypto", "ecash", "metrics", "net", "obs"},
     # the multi-node layer composes services over the wire; it sits
     # above service and below testing (which sweeps clusters too)

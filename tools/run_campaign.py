@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Run one named adversarial campaign against the live market service.
+
+The command-line face of :mod:`repro.sim.campaign` — and the command a
+failing :class:`~repro.sim.report.CampaignReport` embeds as its replay
+line, so ``python tools/run_campaign.py <name> --seed N --backend B``
+must reproduce any reported run byte-for-byte.
+
+Prints the human summary (``--json`` for the canonical report instead)
+and exits non-zero unless the report is clean, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.campaign import CAMPAIGNS, run_campaign  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run a seeded adversarial market campaign",
+    )
+    parser.add_argument("campaign", choices=sorted(CAMPAIGNS),
+                        help="which canned campaign to run")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed (default 0); same seed, "
+                             "same backend => byte-identical report")
+    parser.add_argument("--scale", type=int, default=1,
+                        help="roster multiplier (45 ~ a thousand parties "
+                             "for the mixed campaign)")
+    parser.add_argument("--backend", default="inprocess",
+                        choices=("inprocess", "socket", "cluster"),
+                        help="how the campaign reaches the MarketService")
+    parser.add_argument("--json", action="store_true",
+                        help="print the canonical JSON report instead of "
+                             "the summary")
+    args = parser.parse_args(argv)
+
+    config = CAMPAIGNS[args.campaign](
+        args.seed, scale=args.scale, backend=args.backend
+    )
+    report = run_campaign(config)
+    print(report.to_json() if args.json else report.summary())
+    if not args.json:
+        print(f"report digest: {report.digest()}")
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
