@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install dev test bench bench-json service-bench fastexp-bench batchverify-bench report examples lint-imports test-faults coverage obs-demo cluster-demo cluster-smoke campaign campaign-smoke clean
+.PHONY: install dev test bench bench-json service-bench fastexp-bench batchverify-bench report examples lint-imports check-docs test-faults coverage obs-demo cluster-demo cluster-smoke campaign campaign-smoke clean
 
 # Coverage floor enforced by `make coverage` and the CI coverage job.
 # Measured line coverage of src/repro under the full suite is ~96%;
@@ -40,6 +40,11 @@ batchverify-bench:
 
 lint-imports:
 	$(PYTHON) tools/lint_imports.py
+
+# Dead links, stale module/file refs, and api.md coverage over docs/
+# and README.md.  See tools/check_docs.py.
+check-docs:
+	$(PYTHON) tools/check_docs.py
 
 # Wide fault-schedule sweep (100 DEC + 40 PBS seeded schedules); the
 # plain test run exercises a fast slice of the same matrix.

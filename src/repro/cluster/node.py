@@ -44,7 +44,7 @@ from repro.cluster.replicate import (
 )
 from repro.cluster.ring import ClusterMap, DEFAULT_VNODES
 from repro.service.frontend import ServiceFrontend
-from repro.service.journal import Checkpoint, Journal
+from repro.service.journal import DEFAULT_SEGMENT_RECORDS, Checkpoint, Journal
 from repro.service.server import MarketService
 from repro.service.shard import ShardedBank
 
@@ -58,6 +58,8 @@ class ClusterNode:
                  n_shards: int = 4, host: str = "127.0.0.1",
                  port: int = 0, replica_port: int = 0, seed: int = 0,
                  checkpoint_every: int = 64,
+                 segment_records: int = DEFAULT_SEGMENT_RECORDS,
+                 journal_retention: int | None = None,
                  telemetry: "obs.Telemetry | None" = None) -> None:
         self.id = node_id
         self.params = params
@@ -65,6 +67,14 @@ class ClusterNode:
         self.n_shards = n_shards
         self.host = host
         self.checkpoint_every = checkpoint_every
+        self.segment_records = segment_records
+        #: segments to retain past the replica-durable cut; ``None``
+        #: (the default) disables local compaction entirely, keeping
+        #: ``dump_journals`` complete for the cluster sweep's shadow
+        #: replay.  Setting it bounds this node's journal memory to
+        #: roughly ``(retention + 1) * segment_records`` records once a
+        #: checkpoint has reached the peer (see docs/storage.md).
+        self.journal_retention = journal_retention
         self.telemetry = telemetry if telemetry is not None else obs.Telemetry.disabled()
         self.telemetry.registry.gauge(
             "repro_cluster_node_info", "cluster node identity", node=node_id,
@@ -78,7 +88,8 @@ class ClusterNode:
         # copy (shipped before any reply), which is exactly what a
         # SIGKILL leaves behind; FileJournal can be slotted in for
         # belt-and-braces local durability without changing anything else
-        self.journal = Journal(telemetry=self.telemetry)
+        self.journal = Journal(segment_records=segment_records,
+                               telemetry=self.telemetry)
         bank = ShardedBank(params, keypair, random.Random(seed),
                            n_shards=n_shards, journal=self.journal,
                            telemetry=self.telemetry)
@@ -122,14 +133,24 @@ class ClusterNode:
         if self.shipper is not None:
             raise RuntimeError(f"{self.id}: shipper already connected")
         self.shipper = JournalShipper(self.id, peer,
-                                      checkpoint_every=self.checkpoint_every)
+                                      checkpoint_every=self.checkpoint_every,
+                                      segment_records=self.segment_records)
         self.shipper.bind_checkpoints(self.service.checkpoint)
         self.journal.add_observer(self.shipper.on_record)
         self.frontend.after_batch = self._after_batch
 
     def _after_batch(self) -> None:
-        if self.shipper is not None:
-            self.shipper.maybe_checkpoint()
+        if self.shipper is None:
+            return
+        self.shipper.maybe_checkpoint()
+        if (self.journal_retention is not None
+                and self.shipper.last_checkpoint_lsn >= 0):
+            # a checkpoint at that LSN reached the peer, so records at
+            # or below it are replica-durable: adoption restores the
+            # checkpoint and needs only the tail.  Local compaction to
+            # the same cut keeps this node's memory bounded.
+            self.journal.compact(self.shipper.last_checkpoint_lsn,
+                                 retain_segments=self.journal_retention)
 
     # -- control plane -----------------------------------------------------
     def control(self, frame: dict) -> dict:
@@ -251,6 +272,8 @@ class LocalCluster:
     def __init__(self, params, keypair, *, n_nodes: int = 3,
                  n_shards: int = 4, vnodes: int = DEFAULT_VNODES,
                  checkpoint_every: int = 64,
+                 segment_records: int = DEFAULT_SEGMENT_RECORDS,
+                 journal_retention: int | None = None,
                  telemetry_factory=None) -> None:
         if n_nodes < 2:
             raise ValueError("a cluster needs at least two nodes")
@@ -262,7 +285,9 @@ class LocalCluster:
             telemetry = telemetry_factory() if telemetry_factory else None
             self.nodes[name] = ClusterNode(
                 name, params, keypair, n_shards=n_shards, seed=i,
-                checkpoint_every=checkpoint_every, telemetry=telemetry,
+                checkpoint_every=checkpoint_every,
+                segment_records=segment_records,
+                journal_retention=journal_retention, telemetry=telemetry,
             )
         self.map = ClusterMap(
             version=0, nodes=names,

@@ -28,6 +28,16 @@ snapshot plus the spooled tail is always sufficient).  During a
 degraded window the no-loss guarantee narrows to "whatever reached the
 peer"; the runbook's failover entry spells this out.
 
+Shipping is **segment-aware** (see ``docs/storage.md``): every record
+frame carries the segment id its LSN maps to, and a reconnect opens
+with a *sync* hello — the receiver answers with its cursor
+``(segment, lsn)``, the high-water mark it already holds, and the
+shipper prunes its spool to strictly-newer records before replaying.
+Resume cost is therefore the gap, not the spool; and a receiver
+running with ``trim_on_checkpoint=True`` keeps only the journal tail
+after each shipped checkpoint, bounding replica memory the same way
+compaction bounds source disk.
+
 :class:`ReplicaReceiver` is the listening side: it stores per-source
 checkpoint + record streams, answers control frames (ping/adopt/dump —
 the handler is injected by :class:`repro.cluster.node.ClusterNode`),
@@ -44,7 +54,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.net.wire import FrameDecoder, encode_frame, read_frame, write_frame, WireError
-from repro.service.journal import Checkpoint, Journal, JournalRecord
+from repro.service.journal import (
+    DEFAULT_SEGMENT_RECORDS,
+    Checkpoint,
+    Journal,
+    JournalError,
+    JournalRecord,
+)
 
 __all__ = [
     "ReplicaSlot",
@@ -61,10 +77,23 @@ def journal_from_records(states: list[dict]) -> Journal:
     The shipped stream is already LSN-ordered and codec-normalized (it
     was appended once on the source node); rebuilding through
     :meth:`Journal.append` would re-assign LSNs and re-fire hooks, so
-    the records are installed directly.
+    the records are installed directly.  A stream whose first record
+    carries a non-zero LSN (the receiver trimmed on a checkpoint, or
+    the source compacted before the link came up) becomes a journal
+    with the matching ``first_lsn``, so recovery's compaction guard
+    sees the truth.
     """
     journal = Journal()
-    journal._records.extend(JournalRecord.from_state(s) for s in states)
+    records = [JournalRecord.from_state(s) for s in states]
+    for prev, cur in zip(records, records[1:]):
+        if cur.lsn != prev.lsn + 1:
+            raise JournalError(
+                f"shipped record stream has a gap: lsn {prev.lsn} is "
+                f"followed by lsn {cur.lsn}"
+            )
+    if records:
+        journal._base_lsn = records[0].lsn
+    journal._records.extend(records)
     return journal
 
 
@@ -82,36 +111,57 @@ def control_call(address: tuple[str, int], frame: dict, *,
 
 @dataclass
 class ReplicaSlot:
-    """Everything one source node has shipped here."""
+    """Everything one source node has shipped here.
+
+    ``last_lsn``/``last_segment`` are real fields (not derived from
+    ``records``) so they survive checkpoint trimming: the cursor a sync
+    hello answers with must be the true high-water mark even after the
+    records below a checkpoint were dropped.
+    """
 
     node: str
     checkpoint: bytes | None = None
+    checkpoint_lsn: int = -1
     records: list[dict] = field(default_factory=list)
     streams: int = 0  # live shipping connections for this source
-
-    @property
-    def last_lsn(self) -> int:
-        return self.records[-1]["lsn"] if self.records else -1
+    last_lsn: int = -1
+    last_segment: int = -1
 
 
 class ReplicaReceiver:
     """TCP listener accepting replica streams and control frames.
 
-    Stream frames (no reply, fire-and-forget from the shipper)::
+    Stream frames (fire-and-forget from the shipper, except the sync
+    hello which is answered with a cursor)::
 
-        {type: "hello",      node}                 opens a stream
-        {type: "record",     node, record}         one journal record
-        {type: "checkpoint", node, blob}           newest full snapshot
+        {type: "hello",      node}                   opens a stream
+        {type: "hello",      node, sync: true}       opens + cursor reply
+        {type: "record",     node, segment, record}  one journal record
+        {type: "checkpoint", node, blob}             newest full snapshot
+
+    The cursor reply is ``{ok, type: "cursor", node, segment, lsn}`` —
+    the highest LSN (and its segment) this receiver already holds for
+    the source, so a reconnecting shipper can prune its spool instead
+    of replaying everything since the last checkpoint.
 
     Any other frame is treated as a *control* request: handed to the
     injected ``control`` callable, whose dict result is written back as
     the reply (exceptions become ``{ok: false, error}``).  The control
     plane — ping, map exchange, adoption, dumps — therefore rides the
     same listener, one port per node.
+
+    With ``trim_on_checkpoint=True``, every checkpoint frame drops the
+    stored records it covers (LSN ≤ the checkpoint's cut): adoption
+    then restores the checkpoint and replays only the tail, and the
+    slot's memory is bounded the way compaction bounds source disk.
+    The default (``False``) keeps the full stream, which the cluster
+    sweep's uncompacted shadow replay requires.
     """
 
     def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
-                 control: Callable[[dict], dict] | None = None) -> None:
+                 control: Callable[[dict], dict] | None = None,
+                 trim_on_checkpoint: bool = False) -> None:
+        self.trim_on_checkpoint = trim_on_checkpoint
         self._listener = socket.create_server((host, port))
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
         self.control = control
@@ -216,21 +266,40 @@ class ReplicaReceiver:
             slot = self.slot(frame["node"])
             with self._lock:
                 slot.streams += 1
+                if frame.get("sync"):
+                    return {"ok": True, "type": "cursor", "node": slot.node,
+                            "segment": slot.last_segment,
+                            "lsn": slot.last_lsn}
             return None
         if kind == "record":
             slot = self.slot(frame["node"])
             record = frame["record"]
             with self._lock:
                 # idempotent by LSN: a reconnecting shipper replays its
-                # spool from the last shipped checkpoint, and overlap
-                # with already-received records must not duplicate
+                # (cursor-pruned) spool, and overlap with records that
+                # already arrived must not duplicate
                 if record["lsn"] > slot.last_lsn:
                     slot.records.append(record)
+                    slot.last_lsn = record["lsn"]
+                    segment = frame.get("segment")
+                    if segment is None:
+                        segment = record["lsn"] // DEFAULT_SEGMENT_RECORDS
+                    slot.last_segment = segment
             return None
         if kind == "checkpoint":
             slot = self.slot(frame["node"])
+            blob = frame["blob"]
+            cut = -1
+            if self.trim_on_checkpoint:
+                try:
+                    cut = Checkpoint.from_bytes(blob).lsn
+                except JournalError:
+                    cut = -1  # keep everything rather than trust a bad blob
             with self._lock:
-                slot.checkpoint = frame["blob"]
+                slot.checkpoint = blob
+                if cut >= 0:
+                    slot.checkpoint_lsn = cut
+                    slot.records = [r for r in slot.records if r["lsn"] > cut]
             return None
         if self.control is not None:
             try:
@@ -247,15 +316,28 @@ class JournalShipper:
     :meth:`maybe_checkpoint` from the frontend's ``after_batch`` hook.
     ``healthy`` is the degradation flag: ``False`` means the link is
     down and records are spooling for the reconnect thread.
+
+    *segment_records* is the shipping-side segment geometry: each
+    record frame carries ``lsn // segment_records`` as its segment id
+    so receiver cursors speak ``(segment, lsn)``.  It should match the
+    source journal's geometry when the source is a
+    :class:`~repro.service.journal.SegmentedFileJournal`.
+    ``last_checkpoint_lsn`` is the cut of the newest checkpoint that
+    reached the peer (-1 before the first) — the LSN local compaction
+    may safely treat as replica-durable.
     """
 
     def __init__(self, node: str, peer: tuple[str, int], *,
-                 checkpoint_every: int = 256, timeout: float = 10.0,
+                 checkpoint_every: int = 256,
+                 segment_records: int = DEFAULT_SEGMENT_RECORDS,
+                 timeout: float = 10.0,
                  reconnect_backoff: float = 0.1,
                  max_backoff: float = 5.0) -> None:
         self.node = node
         self.peer = (peer[0], int(peer[1]))
         self.checkpoint_every = checkpoint_every
+        self.segment_records = segment_records
+        self.last_checkpoint_lsn = -1
         self.timeout = timeout
         self._sock: socket.socket | None = None
         self._lock = threading.Lock()
@@ -284,6 +366,7 @@ class JournalShipper:
     # -- hot path (journal observer, appending thread) ---------------------
     def on_record(self, record: JournalRecord) -> None:
         frame = {"type": "record", "node": self.node,
+                 "segment": record.lsn // self.segment_records,
                  "record": record.to_state()}
         with self._lock:
             if self._sock is not None:
@@ -322,6 +405,7 @@ class JournalShipper:
                 self._degrade()
                 return False
             self.shipped_checkpoints += 1
+            self.last_checkpoint_lsn = checkpoint.lsn
             self._since_checkpoint = 0
         return True
 
@@ -359,9 +443,25 @@ class JournalShipper:
             try:
                 sock = socket.create_connection(self.peer, timeout=self.timeout)
                 sock.settimeout(self.timeout)
-                sock.sendall(encode_frame({"type": "hello", "node": self.node}))
-            except OSError:
+                sock.sendall(encode_frame(
+                    {"type": "hello", "node": self.node, "sync": True}))
+                cursor = read_frame(sock)
+            except (OSError, WireError):
                 continue
+            if not isinstance(cursor, dict) or cursor.get("type") != "cursor":
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            # the cursor is the peer's (segment, lsn) high-water mark:
+            # everything at or below it already arrived (the receiver
+            # dedups by LSN anyway, but pruning here avoids re-sending
+            # a potentially large spool over a slow link)
+            acked = cursor.get("lsn", -1)
+            with self._lock:
+                self._spool = [f for f in self._spool
+                               if f["record"]["lsn"] > acked]
             # replay the spool on the *private* socket before publishing
             # it: while ``_sock`` is None the hot path keeps spooling, so
             # live records can never interleave with (or overtake) the

@@ -13,16 +13,21 @@ whole thing over TCP (length-prefixed :mod:`repro.net.wire` frames),
 and :mod:`~repro.service.loadgen` drives the stack — in-process or
 over real sockets — from the workload layer and reports latency SLOs.
 
-See ``docs/service.md`` for the architecture and the knobs.
+See ``docs/service.md`` for the architecture and the knobs, and
+``docs/storage.md`` for the on-disk journal/checkpoint format behind
+:class:`~repro.service.journal.SegmentedFileJournal`.
 """
 
 from repro.service.admission import AdmissionController, AdmissionDecision, TokenBucket
 from repro.service.journal import (
+    DEFAULT_SEGMENT_RECORDS,
     Checkpoint,
     FileJournal,
     Journal,
     JournalError,
+    JournalMaintenance,
     JournalRecord,
+    SegmentedFileJournal,
 )
 from repro.service.batcher import (
     DepositJob,
@@ -54,6 +59,9 @@ __all__ = [
     "TokenBucket",
     "Journal",
     "FileJournal",
+    "SegmentedFileJournal",
+    "JournalMaintenance",
+    "DEFAULT_SEGMENT_RECORDS",
     "JournalRecord",
     "JournalError",
     "Checkpoint",

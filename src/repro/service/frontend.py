@@ -177,6 +177,25 @@ class ServiceFrontend:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def add_after_batch(self, fn: Callable[[], None]) -> None:
+        """Chain *fn* onto the after-batch maintenance hook.
+
+        Multiple maintenance tasks (checkpoint shipping, journal
+        checkpoint + compaction via :class:`~repro.service.journal
+        .JournalMaintenance`) can share the quiescent point; they run
+        on the dispatcher thread in registration order.
+        """
+        current = self.after_batch
+        if current is None:
+            self.after_batch = fn
+            return
+
+        def chained() -> None:
+            current()
+            fn()
+
+        self.after_batch = chained
+
     # -- reader side -------------------------------------------------------
     def _accept_loop(self) -> None:
         while self._running:

@@ -16,13 +16,30 @@ journal closes that hole with the classic discipline:
   originating request id (``rid``); replay skips a rid it has already
   applied, so duplicated records (client retries, overlapping recovery
   passes) can never double-apply a deposit.
-* **fsync-free in-memory mode** — :class:`Journal` keeps records in a
-  list, which under the fault harness plays the role of the disk that
-  survives the simulated crash (the service and bank objects are
-  discarded; the journal object is handed to recovery).
-  :class:`FileJournal` is the durable variant: length-prefixed,
-  digest-framed records appended to a real file, with torn-tail
-  detection on load.
+* **bounded growth** — the log is an epoch/segment store, not one
+  endless list: every record belongs to the fixed-capacity segment
+  ``lsn // segment_records``, checkpoints durably fold a prefix of the
+  log into snapshot state, and :meth:`Journal.compact` drops whole
+  segments that a durable checkpoint fully covers (under an explicit
+  retention policy).  LSNs never restart; compaction only advances the
+  oldest *retained* position (:attr:`Journal.first_lsn`).
+
+Three storage modes:
+
+* :class:`Journal` keeps records in a list, which under the fault
+  harness plays the role of the disk that survives the simulated crash
+  (the service and bank objects are discarded; the journal object is
+  handed to recovery).
+* :class:`FileJournal` is the single-file durable variant:
+  length-prefixed, digest-framed records appended to one file, with
+  torn-tail detection on load.  It predates segments and never
+  compacts; kept for small tools and backward compatibility.
+* :class:`SegmentedFileJournal` is the production store: one file per
+  segment, incremental copy-on-write checkpoints (content-addressed
+  blob files + a small manifest), retention-policy compaction that
+  actually deletes files, and named crash-injection steps so the fault
+  harness can kill the process *inside* checkpointing and compaction.
+  The byte-exact on-disk format is specified in ``docs/storage.md``.
 
 Record kinds (see :mod:`repro.service.server` for who writes what)::
 
@@ -32,14 +49,18 @@ Record kinds (see :mod:`repro.service.server` for who writes what)::
 
 A :class:`Checkpoint` pairs per-shard snapshot blobs with the journal
 position they reflect; recovery restores the blobs and replays only
-records after that position.
+records after that position.  Since checkpoints gate compaction, a v2
+checkpoint also carries the request-lifecycle state (reply cache,
+in-flight accepts, eviction tombstones, sequence watermark) that
+recovery used to rebuild by scanning the — now partially deleted —
+log from lsn 0.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 import repro.obs as obs
 from repro.crypto.hashing import sha256
@@ -50,12 +71,22 @@ __all__ = [
     "JournalRecord",
     "Journal",
     "FileJournal",
+    "SegmentedFileJournal",
+    "JournalMaintenance",
     "Checkpoint",
+    "DEFAULT_SEGMENT_RECORDS",
 ]
 
-_CKPT_MAGIC = b"repro-service-checkpoint-v1"
+_CKPT_MAGIC_V1 = b"repro-service-checkpoint-v1"
+_CKPT_MAGIC = b"repro-service-checkpoint-v2"
 _FILE_MAGIC = b"repro-journal-v1\n"
+_SEGMENT_MAGIC = b"repro-journal-seg-v1\n"
+_MANIFEST_MAGIC = b"repro-ckpt-manifest-v1"
 _FRAME_DIGEST_BYTES = 8
+_BLOB_NAME_HEX = 16
+
+#: Records per segment: segment ``k`` holds LSNs ``[k*N, (k+1)*N)``.
+DEFAULT_SEGMENT_RECORDS = 1024
 
 #: Record kinds the service/bank layers write.
 RECORD_KINDS = ("accept", "apply", "reply")
@@ -109,11 +140,24 @@ class Journal:
     appending is exactly as strict as sending the value over the wire,
     and the journal can never share mutable state with the live books
     (a record read back at recovery is a fresh decoded copy).
+
+    The log is segmented: record ``lsn`` belongs to segment
+    ``lsn // segment_records``, and :meth:`compact` drops whole sealed
+    segments that a durable checkpoint covers.  ``len(journal)`` is the
+    *retained* record count; :attr:`first_lsn`/:attr:`last_lsn` are the
+    retained LSN range (LSNs are global and never reused).
     """
 
-    def __init__(self, *, telemetry: "obs.Telemetry | None" = None) -> None:
+    def __init__(self, *, segment_records: int = DEFAULT_SEGMENT_RECORDS,
+                 telemetry: "obs.Telemetry | None" = None) -> None:
+        if segment_records < 1:
+            raise JournalError("segment_records must be positive")
+        self.segment_records = segment_records
+        self._base_lsn = 0  # lsn of _records[0] (next lsn when empty)
         self._records: list[JournalRecord] = []
         self._observers: list = []
+        self.compactions = 0
+        self.segments_dropped = 0
         self._bind_obs(telemetry)
 
     def add_observer(self, fn) -> None:
@@ -147,14 +191,46 @@ class Journal:
         self._m_lsn = registry.gauge(
             "repro_journal_lsn", "log sequence number of the newest record"
         )
+        self._m_first_lsn = registry.gauge(
+            "repro_journal_first_lsn",
+            "oldest retained log sequence number (advances on compaction)",
+        )
+        self._m_segments = registry.gauge(
+            "repro_journal_segments_retained",
+            "journal segments currently retained",
+        )
+        self._m_compactions = registry.counter(
+            "repro_journal_compactions_total",
+            "compaction passes that dropped at least one segment",
+        )
+        self._m_dropped = registry.counter(
+            "repro_journal_segments_dropped_total",
+            "journal segments dropped by compaction",
+        )
 
     def __len__(self) -> int:
+        """Retained record count (shrinks when :meth:`compact` drops segments)."""
         return len(self._records)
 
     @property
+    def first_lsn(self) -> int:
+        """LSN of the oldest retained record (the next LSN when empty)."""
+        return self._base_lsn
+
+    @property
     def last_lsn(self) -> int:
-        """LSN of the newest record, or ``-1`` when empty."""
-        return len(self._records) - 1
+        """LSN of the newest record, or ``first_lsn - 1`` when empty."""
+        return self._base_lsn + len(self._records) - 1
+
+    def segment_of(self, lsn: int) -> int:
+        """The segment id holding *lsn* (``lsn // segment_records``)."""
+        return lsn // self.segment_records
+
+    @property
+    def segments_retained(self) -> int:
+        if not self._records:
+            return 0
+        return self.segment_of(self.last_lsn) - self.segment_of(self.first_lsn) + 1
 
     def append(self, kind: str, rid: str, op: str, payload: Any) -> JournalRecord:
         """Durably record one event; returns the record (with its LSN)."""
@@ -166,7 +242,8 @@ class Journal:
         except (TypeError, ValueError) as exc:
             raise JournalError(f"unjournalable payload for {op!r}: {exc}") from exc
         record = JournalRecord(
-            lsn=len(self._records), kind=kind, rid=rid, op=op, payload=normalized
+            lsn=self._base_lsn + len(self._records), kind=kind, rid=rid, op=op,
+            payload=normalized,
         )
         # the span inherits the active request's trace id (the apply or
         # submit span is on the tracer stack), so journal time shows up
@@ -186,15 +263,65 @@ class Journal:
         """Hook for durable subclasses; in-memory mode does nothing."""
 
     def records(self, *, after: int = -1) -> Iterator[JournalRecord]:
-        """Records with ``lsn > after``, in LSN order."""
-        start = after + 1
+        """Retained records with ``lsn > after``, in LSN order.
+
+        A cursor inside the compacted prefix (``after < first_lsn - 1``)
+        silently starts at the oldest retained record; callers that need
+        the *full* history must pair the tail with the checkpoint that
+        compaction was cut against (see :meth:`compact`).
+        """
+        start = after + 1 - self._base_lsn
         if start < 0:
             start = 0
         return iter(self._records[start:])
 
+    def compact(self, durable_lsn: int, *, retain_segments: int = 1) -> list[int]:
+        """Drop sealed segments fully covered by a durable checkpoint.
+
+        *durable_lsn* is the LSN of a checkpoint that is already safely
+        persisted (or shipped): every record with ``lsn <= durable_lsn``
+        is folded into that checkpoint's state.  A segment is dropped
+        only when **all** of its records are covered; *retain_segments*
+        keeps that many of the newest coverable segments anyway (debug
+        tail / shipping slack).  Returns the dropped segment ids.
+
+        Compaction never touches the active (unsealed) segment and
+        never renumbers anything: ``first_lsn`` advances, ``last_lsn``
+        and future LSNs are unchanged.
+        """
+        if retain_segments < 0:
+            raise JournalError("retain_segments must be >= 0")
+        if durable_lsn > self.last_lsn:
+            durable_lsn = self.last_lsn
+        # segments 0 .. covered-1 are entirely <= durable_lsn
+        covered = (durable_lsn + 1) // self.segment_records
+        target_first = covered - retain_segments
+        current_first = self._base_lsn // self.segment_records
+        if target_first <= current_first:
+            self._m_first_lsn.set(self.first_lsn)
+            self._m_segments.set(self.segments_retained)
+            return []
+        dropped = list(range(current_first, target_first))
+        new_base = target_first * self.segment_records
+        with self.obs.tracer.span("journal_compact", first=current_first,
+                                  dropped=len(dropped)):
+            self._records = self._records[new_base - self._base_lsn:]
+            self._base_lsn = new_base
+            self._drop_segments(dropped)
+        self.compactions += 1
+        self.segments_dropped += len(dropped)
+        self._m_compactions.inc()
+        self._m_dropped.inc(len(dropped))
+        self._m_first_lsn.set(self.first_lsn)
+        self._m_segments.set(self.segments_retained)
+        return dropped
+
+    def _drop_segments(self, segment_ids: list[int]) -> None:
+        """Hook for durable subclasses: delete the dropped segments' files."""
+
 
 class FileJournal(Journal):
-    """Journal persisted to an append-only file.
+    """Journal persisted to one append-only file (the pre-segment format).
 
     Frame format after a one-line magic header: 4-byte big-endian body
     length, the first 8 bytes of ``sha256(body)``, then the
@@ -203,6 +330,9 @@ class FileJournal(Journal):
     costs at most the record being written, never the records before
     it — and raises :class:`JournalError` on corruption *before* the
     tail, which no crash can produce.
+
+    A single file cannot drop its prefix, so this class refuses to
+    compact; use :class:`SegmentedFileJournal` for bounded disk.
     """
 
     def __init__(self, path: str | os.PathLike[str], *,
@@ -221,14 +351,14 @@ class FileJournal(Journal):
     def close(self) -> None:
         self._fh.close()
 
-    def _persist(self, record: JournalRecord) -> None:
-        body = encode(record.to_state())
-        frame = (
-            len(body).to_bytes(4, "big")
-            + sha256(body)[:_FRAME_DIGEST_BYTES]
-            + body
+    def compact(self, durable_lsn: int, *, retain_segments: int = 1) -> list[int]:
+        raise JournalError(
+            "FileJournal cannot compact (single append-only file); "
+            "use SegmentedFileJournal"
         )
-        self._fh.write(frame)
+
+    def _persist(self, record: JournalRecord) -> None:
+        self._fh.write(_frame(record.to_state()))
         self._fh.flush()
 
     def _load(self) -> None:
@@ -236,51 +366,500 @@ class FileJournal(Journal):
             data = fh.read()
         if not data.startswith(_FILE_MAGIC):
             raise JournalError(f"{self.path}: not a journal file (bad magic)")
-        pos = len(_FILE_MAGIC)
-        end = len(data)
-        while pos < end:
-            if pos + 4 + _FRAME_DIGEST_BYTES > end:
-                self.torn_tail = True
-                break
-            size = int.from_bytes(data[pos : pos + 4], "big")
-            digest = data[pos + 4 : pos + 4 + _FRAME_DIGEST_BYTES]
-            body_start = pos + 4 + _FRAME_DIGEST_BYTES
-            body = data[body_start : body_start + size]
-            if len(body) < size:
-                self.torn_tail = True
-                break
-            if sha256(body)[:_FRAME_DIGEST_BYTES] != digest:
-                if body_start + size == end:
-                    # torn write inside the final frame's body
-                    self.torn_tail = True
-                    break
-                raise JournalError(
-                    f"{self.path}: corrupt frame at byte {pos} (digest mismatch)"
-                )
-            try:
-                record = JournalRecord.from_state(decode(body))
-            except (ValueError, KeyError, TypeError) as exc:
-                raise JournalError(
-                    f"{self.path}: undecodable frame at byte {pos}: {exc}"
-                ) from exc
-            if record.lsn != len(self._records):
-                raise JournalError(
-                    f"{self.path}: LSN gap at byte {pos} "
-                    f"(got {record.lsn}, expected {len(self._records)})"
-                )
-            self._records.append(record)
-            pos = body_start + size
+        records, tail_offset, torn = _scan_frames(
+            data, len(_FILE_MAGIC), self.path, expected_lsn=0
+        )
+        self._records.extend(records)
+        self.torn_tail = torn
         if self.torn_tail:
             # drop the torn bytes so new appends start on a clean frame
             with open(self.path, "rb+") as fh:
-                fh.truncate(self._tail_offset())
+                fh.truncate(tail_offset)
 
-    def _tail_offset(self) -> int:
-        offset = len(_FILE_MAGIC)
-        for record in self._records:
-            body = encode(record.to_state())
-            offset += 4 + _FRAME_DIGEST_BYTES + len(body)
-        return offset
+
+def _frame(state: dict) -> bytes:
+    """One wire frame: u32 body length, 8-byte digest prefix, codec body."""
+    body = encode(state)
+    return (
+        len(body).to_bytes(4, "big")
+        + sha256(body)[:_FRAME_DIGEST_BYTES]
+        + body
+    )
+
+
+def _scan_frames(
+    data: bytes, start: int, name: str, *, expected_lsn: int
+) -> tuple[list[JournalRecord], int, bool]:
+    """Decode record frames from *data*; returns (records, clean end, torn).
+
+    Torn bytes at the very end of the buffer are tolerated (crash
+    mid-append); a bad digest or undecodable body *before* the tail is
+    corruption and raises.  LSNs must be dense from *expected_lsn*.
+    """
+    records: list[JournalRecord] = []
+    pos = start
+    end = len(data)
+    torn = False
+    while pos < end:
+        if pos + 4 + _FRAME_DIGEST_BYTES > end:
+            torn = True
+            break
+        size = int.from_bytes(data[pos : pos + 4], "big")
+        digest = data[pos + 4 : pos + 4 + _FRAME_DIGEST_BYTES]
+        body_start = pos + 4 + _FRAME_DIGEST_BYTES
+        body = data[body_start : body_start + size]
+        if len(body) < size:
+            torn = True
+            break
+        if sha256(body)[:_FRAME_DIGEST_BYTES] != digest:
+            if body_start + size == end:
+                # torn write inside the final frame's body
+                torn = True
+                break
+            raise JournalError(
+                f"{name}: corrupt frame at byte {pos} (digest mismatch)"
+            )
+        try:
+            record = JournalRecord.from_state(decode(body))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise JournalError(
+                f"{name}: undecodable frame at byte {pos}: {exc}"
+            ) from exc
+        if record.lsn != expected_lsn:
+            raise JournalError(
+                f"{name}: LSN gap at byte {pos} "
+                f"(got {record.lsn}, expected {expected_lsn})"
+            )
+        records.append(record)
+        expected_lsn += 1
+        pos = body_start + size
+    return records, pos, torn
+
+
+class SegmentedFileJournal(Journal):
+    """The production journal: numbered segment files under one directory.
+
+    Directory layout (byte-exact spec in ``docs/storage.md``)::
+
+        seg-00000000.wal        segment 0: LSNs [0, N)
+        seg-00000001.wal        segment 1: LSNs [N, 2N)
+        ckpt-0000000000000511.mf  checkpoint manifest cut at LSN 511
+        blob-6f1d2c3b4a596871.bin content-addressed shard snapshot blob
+
+    Each segment file is the one-line segment magic, a framed header
+    (``{segment, base_lsn, segment_records}``), then record frames in
+    the same ``u32 length + 8-byte digest + codec body`` framing as
+    :class:`FileJournal`.  Only the newest segment may end in a torn
+    frame (truncated on load); any earlier damage is corruption.
+
+    Checkpoints are incremental and copy-on-write: each shard blob is
+    written to a file named by its content digest **only if absent**
+    (an unchanged shard costs zero bytes), and the manifest referencing
+    the blobs is published last via atomic rename — a crash anywhere in
+    the sequence leaves the previous checkpoint fully intact.
+    :meth:`compact` deletes segment files fully covered by the newest
+    durable manifest (honoring the retention policy), then superseded
+    manifests, then unreferenced blobs — strictly in that order, so an
+    interrupted compaction can only leave *extra* files, never a
+    recovery gap.
+
+    *crash_hook*, when set, is called with a step label at every
+    named point inside checkpointing and compaction; the fault harness
+    raises :class:`~repro.testing.faults.CrashPoint` from it to prove
+    recovery equivalence for crashes inside the maintenance path.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str], *,
+                 segment_records: int = DEFAULT_SEGMENT_RECORDS,
+                 telemetry: "obs.Telemetry | None" = None,
+                 crash_hook: Callable[[str], None] | None = None) -> None:
+        super().__init__(segment_records=segment_records, telemetry=telemetry)
+        self.directory = os.fspath(directory)
+        self.crash_hook = crash_hook
+        self.torn_tail = False
+        self.checkpoint_fallbacks = 0  # corrupt manifests skipped on load
+        self._fh = None
+        self._fh_segment = -1
+        os.makedirs(self.directory, exist_ok=True)
+        self._load()
+
+    # -- plumbing ----------------------------------------------------------
+    def _step(self, label: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(label)
+
+    def _segment_path(self, segment_id: int) -> str:
+        return os.path.join(self.directory, f"seg-{segment_id:08d}.wal")
+
+    def _manifest_path(self, lsn: int) -> str:
+        return os.path.join(self.directory, f"ckpt-{lsn:016d}.mf")
+
+    def _blob_path(self, digest_hex: str) -> str:
+        return os.path.join(self.directory, f"blob-{digest_hex}.bin")
+
+    def _segment_ids_on_disk(self) -> list[int]:
+        ids = []
+        for name in os.listdir(self.directory):
+            if name.startswith("seg-") and name.endswith(".wal"):
+                ids.append(int(name[4:-4]))
+        return sorted(ids)
+
+    def _manifest_lsns_on_disk(self) -> list[int]:
+        lsns = []
+        for name in os.listdir(self.directory):
+            if name.startswith("ckpt-") and name.endswith(".mf"):
+                lsns.append(int(name[5:-3]))
+        return sorted(lsns)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+            self._fh_segment = -1
+
+    def disk_usage(self) -> int:
+        """Total bytes currently on disk under the journal directory."""
+        total = 0
+        for name in os.listdir(self.directory):
+            try:
+                total += os.path.getsize(os.path.join(self.directory, name))
+            except OSError:
+                pass
+        return total
+
+    # -- load --------------------------------------------------------------
+    def _load(self) -> None:
+        segment_ids = self._segment_ids_on_disk()
+        if not segment_ids:
+            return
+        for prev, cur in zip(segment_ids, segment_ids[1:]):
+            if cur != prev + 1:
+                raise JournalError(
+                    f"{self.directory}: segment gap between seg {prev} and "
+                    f"{cur} (compaction only ever drops a prefix)"
+                )
+        self._base_lsn = segment_ids[0] * self.segment_records
+        expected_lsn = self._base_lsn
+        last = segment_ids[-1]
+        for segment_id in segment_ids:
+            path = self._segment_path(segment_id)
+            with open(path, "rb") as fh:
+                data = fh.read()
+            if not data.startswith(_SEGMENT_MAGIC):
+                raise JournalError(f"{path}: not a journal segment (bad magic)")
+            headers, header_end, header_torn = _scan_header(data, path)
+            if headers["segment"] != segment_id:
+                raise JournalError(
+                    f"{path}: header names segment {headers['segment']}, "
+                    f"file name says {segment_id}"
+                )
+            if headers["segment_records"] != self.segment_records:
+                raise JournalError(
+                    f"{path}: segment capacity {headers['segment_records']} "
+                    f"!= store capacity {self.segment_records}"
+                )
+            if header_torn:
+                raise JournalError(f"{path}: torn segment header")
+            records, tail_offset, torn = _scan_frames(
+                data, header_end, path, expected_lsn=expected_lsn
+            )
+            if segment_id != last:
+                if torn or len(records) != self.segment_records:
+                    raise JournalError(
+                        f"{path}: sealed segment holds {len(records)} of "
+                        f"{self.segment_records} records"
+                        + (" (torn frame)" if torn else "")
+                    )
+            elif torn:
+                self.torn_tail = True
+                with open(path, "rb+") as fh:
+                    fh.truncate(tail_offset)
+            self._records.extend(records)
+            expected_lsn += len(records)
+        self._m_lsn.set(self.last_lsn)
+        self._m_first_lsn.set(self.first_lsn)
+        self._m_segments.set(self.segments_retained)
+
+    # -- append ------------------------------------------------------------
+    def _persist(self, record: JournalRecord) -> None:
+        segment_id = self.segment_of(record.lsn)
+        if self._fh is None or segment_id != self._fh_segment:
+            self._roll_to(segment_id)
+        self._fh.write(_frame(record.to_state()))
+        self._fh.flush()
+
+    def _roll_to(self, segment_id: int) -> None:
+        if self._fh is not None:
+            self._fh.close()
+        path = self._segment_path(segment_id)
+        if os.path.exists(path):
+            # the partially-filled tail segment found on load
+            self._fh = open(path, "ab")
+        else:
+            self._fh = open(path, "wb")
+            self._fh.write(_SEGMENT_MAGIC)
+            self._fh.write(_frame({
+                "segment": segment_id,
+                "base_lsn": segment_id * self.segment_records,
+                "segment_records": self.segment_records,
+            }))
+            self._fh.flush()
+        self._fh_segment = segment_id
+
+    # -- checkpoints (incremental, copy-on-write) --------------------------
+    def write_checkpoint(self, checkpoint: "Checkpoint") -> str:
+        """Durably persist *checkpoint*; returns the manifest path.
+
+        Blob files are content-addressed and written only when absent,
+        so an unchanged shard between two checkpoints is free.  The
+        manifest is written to a ``.tmp`` sibling and published by
+        ``os.replace`` *after* every blob it references exists — the
+        newest manifest on disk therefore always validates, and a crash
+        at any step leaves the previous checkpoint untouched.
+        """
+        shards = []
+        for index, blob in enumerate(checkpoint.blobs):
+            digest = sha256(blob).hex()[:_BLOB_NAME_HEX]
+            path = self._blob_path(digest)
+            if not os.path.exists(path):
+                self._step(f"checkpoint:blob:{index}")
+                tmp = path + ".tmp"
+                with open(tmp, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            shards.append(digest)
+        self._step("checkpoint:manifest")
+        body = encode({
+            "lsn": checkpoint.lsn,
+            "next_seq": checkpoint.next_seq,
+            "shards": shards,
+            "replies": [list(entry) for entry in checkpoint.replies],
+            "pending": list(checkpoint.pending),
+            "evicted": list(checkpoint.evicted),
+        })
+        manifest = _MANIFEST_MAGIC + sha256(_MANIFEST_MAGIC, body) + body
+        path = self._manifest_path(checkpoint.lsn)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(manifest)
+        self._step("checkpoint:publish")
+        os.replace(tmp, path)
+        return path
+
+    def _read_manifest(self, lsn: int) -> dict | None:
+        """Decode one manifest, or ``None`` when it fails validation."""
+        try:
+            with open(self._manifest_path(lsn), "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None
+        if not blob.startswith(_MANIFEST_MAGIC):
+            return None
+        digest = blob[len(_MANIFEST_MAGIC) : len(_MANIFEST_MAGIC) + 32]
+        body = blob[len(_MANIFEST_MAGIC) + 32 :]
+        if sha256(_MANIFEST_MAGIC, body) != digest:
+            return None
+        try:
+            state = decode(body)
+        except ValueError:
+            return None
+        return state
+
+    def load_checkpoint(self) -> "Checkpoint | None":
+        """The newest durable checkpoint that fully validates.
+
+        A manifest is only usable when its own digest checks out *and*
+        every referenced blob file exists with matching content digest;
+        otherwise the next-older manifest is tried (counted in
+        :attr:`checkpoint_fallbacks`).  ``None`` when no checkpoint
+        survives — recovery then replays the whole retained log.
+        """
+        for lsn in reversed(self._manifest_lsns_on_disk()):
+            state = self._read_manifest(lsn)
+            if state is None:
+                self.checkpoint_fallbacks += 1
+                continue
+            blobs = []
+            for digest in state["shards"]:
+                try:
+                    with open(self._blob_path(digest), "rb") as fh:
+                        blob = fh.read()
+                except OSError:
+                    blobs = None
+                    break
+                if sha256(blob).hex()[:_BLOB_NAME_HEX] != digest:
+                    blobs = None
+                    break
+                blobs.append(blob)
+            if blobs is None:
+                self.checkpoint_fallbacks += 1
+                continue
+            return Checkpoint(
+                lsn=state["lsn"],
+                blobs=tuple(blobs),
+                replies=tuple(
+                    (rid, status, body) for rid, status, body in state["replies"]
+                ),
+                pending=tuple(state["pending"]),
+                evicted=tuple(state["evicted"]),
+                next_seq=state["next_seq"],
+            )
+        return None
+
+    # -- compaction --------------------------------------------------------
+    def compact(self, durable_lsn: int | None = None, *,
+                retain_segments: int = 1,
+                retain_checkpoints: int = 1) -> list[int]:
+        """Delete files covered by a durable checkpoint; returns dropped ids.
+
+        With ``durable_lsn=None`` the newest valid manifest's LSN is
+        used (no valid manifest means nothing is dropped).  Deletion
+        order is segments → superseded manifests → unreferenced blobs
+        (and stray ``.tmp`` files), each behind a named crash step; any
+        interruption leaves only *extra* files, which the next pass
+        removes.  *retain_checkpoints* keeps that many of the newest
+        valid manifests (at least 1 — compaction without a durable
+        checkpoint would strand the log).
+        """
+        if retain_checkpoints < 1:
+            raise JournalError("retain_checkpoints must be >= 1")
+        if durable_lsn is None:
+            manifests = [
+                lsn for lsn in self._manifest_lsns_on_disk()
+                if self._read_manifest(lsn) is not None
+            ]
+            if not manifests:
+                return []
+            durable_lsn = manifests[-1]
+        dropped = super().compact(durable_lsn, retain_segments=retain_segments)
+        self._gc_checkpoints(retain_checkpoints)
+        return dropped
+
+    def _drop_segments(self, segment_ids: list[int]) -> None:
+        for segment_id in segment_ids:
+            self._step(f"compact:segment:{segment_id}")
+            try:
+                os.unlink(self._segment_path(segment_id))
+            except OSError:
+                pass  # already gone (a previous interrupted pass)
+
+    def _gc_checkpoints(self, retain_checkpoints: int) -> None:
+        lsns = self._manifest_lsns_on_disk()
+        valid = [lsn for lsn in lsns if self._read_manifest(lsn) is not None]
+        keep = set(valid[-retain_checkpoints:])
+        referenced: set[str] = set()
+        for lsn in keep:
+            state = self._read_manifest(lsn)
+            if state is not None:
+                referenced.update(state["shards"])
+        for lsn in lsns:
+            if lsn in keep:
+                continue
+            self._step(f"compact:manifest:{lsn}")
+            try:
+                os.unlink(self._manifest_path(lsn))
+            except OSError:
+                pass
+        for name in sorted(os.listdir(self.directory)):
+            path = os.path.join(self.directory, name)
+            if name.endswith(".tmp"):
+                self._step(f"compact:tmp:{name}")
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            elif name.startswith("blob-") and name.endswith(".bin"):
+                if name[5:-4] not in referenced:
+                    self._step(f"compact:blob:{name}")
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+
+
+def _scan_header(data: bytes, path: str) -> tuple[dict, int, bool]:
+    """Decode the framed segment header; returns (header, end offset, torn)."""
+    pos = len(_SEGMENT_MAGIC)
+    end = len(data)
+    if pos + 4 + _FRAME_DIGEST_BYTES > end:
+        return {}, pos, True
+    size = int.from_bytes(data[pos : pos + 4], "big")
+    digest = data[pos + 4 : pos + 4 + _FRAME_DIGEST_BYTES]
+    body_start = pos + 4 + _FRAME_DIGEST_BYTES
+    body = data[body_start : body_start + size]
+    if len(body) < size or sha256(body)[:_FRAME_DIGEST_BYTES] != digest:
+        return {}, pos, True
+    try:
+        header = decode(body)
+    except ValueError as exc:
+        raise JournalError(f"{path}: undecodable segment header: {exc}") from exc
+    return header, body_start + size, False
+
+
+class JournalMaintenance:
+    """Checkpoint + compaction cadence for a :class:`SegmentedFileJournal`.
+
+    Call :meth:`run` from a point where the service is quiescent — the
+    frontend's ``after_batch`` hook (use :meth:`attach`) or between
+    scenario steps.  Every *checkpoint_every* appended records it pulls
+    a fresh :class:`Checkpoint` from *checkpoint_source* (the service's
+    :meth:`~repro.service.server.MarketService.checkpoint`), persists
+    it, and compacts the journal against it under the retention policy.
+    Snapshots are incremental (dirty shards only — see
+    :meth:`~repro.service.shard.ShardedBank.snapshot`), so the cut
+    never scales with total state, only with what changed.
+    """
+
+    def __init__(self, journal: SegmentedFileJournal,
+                 checkpoint_source: Callable[[], "Checkpoint"], *,
+                 checkpoint_every: int = 256,
+                 retain_segments: int = 1,
+                 retain_checkpoints: int = 1) -> None:
+        self.journal = journal
+        self.checkpoint_source = checkpoint_source
+        self.checkpoint_every = checkpoint_every
+        self.retain_segments = retain_segments
+        self.retain_checkpoints = retain_checkpoints
+        self.last_checkpoint_lsn = -1
+        self.checkpoints_cut = 0
+        self.segments_deleted = 0
+        registry = journal.obs.registry
+        self._m_checkpoints = registry.counter(
+            "repro_journal_checkpoints_total",
+            "durable checkpoints cut by journal maintenance",
+        )
+        self._m_disk = registry.gauge(
+            "repro_journal_disk_bytes",
+            "bytes on disk under the journal directory",
+        )
+        existing = journal.load_checkpoint()
+        if existing is not None:
+            self.last_checkpoint_lsn = existing.lsn
+
+    def attach(self, frontend) -> None:
+        """Chain :meth:`run` onto *frontend*'s after-batch hook."""
+        frontend.add_after_batch(lambda: self.run())
+
+    def run(self, *, force: bool = False) -> bool:
+        """Cut + persist a checkpoint and compact, when one is due."""
+        appended = self.journal.last_lsn - self.last_checkpoint_lsn
+        if not force and appended < self.checkpoint_every:
+            return False
+        if self.journal.last_lsn < 0:
+            return False
+        checkpoint = self.checkpoint_source()
+        self.journal.write_checkpoint(checkpoint)
+        self.last_checkpoint_lsn = checkpoint.lsn
+        self.checkpoints_cut += 1
+        self._m_checkpoints.inc()
+        dropped = self.journal.compact(
+            checkpoint.lsn,
+            retain_segments=self.retain_segments,
+            retain_checkpoints=self.retain_checkpoints,
+        )
+        self.segments_deleted += len(dropped)
+        self._m_disk.set(self.journal.disk_usage())
+        return True
 
 
 @dataclass(frozen=True)
@@ -288,28 +867,69 @@ class Checkpoint:
     """Shard snapshot blobs plus the journal position they reflect.
 
     Every journal record with ``lsn <= lsn`` is already folded into the
-    blobs; recovery replays only what comes after.  The bank-state
-    *replay* cut is ``lsn``; request-lifecycle scans (reply cache,
-    in-flight redo) always read the whole journal.
+    blobs; recovery restores the blobs and replays only what comes
+    after.  Because compaction may have deleted records before the cut,
+    a checkpoint also carries the request-lifecycle state those records
+    used to prove:
+
+    * ``replies`` — the reply cache, ``(rid, status, body)`` triples in
+      completion order (oldest first, so eviction order survives);
+    * ``pending`` — accepted-but-unanswered requests (each the journaled
+      accept payload plus its ``rid``), re-enqueued on recovery;
+    * ``evicted`` — tombstone digests of rids whose cached replies were
+      evicted (see :meth:`MarketService.submit <repro.service.server
+      .MarketService.submit>`): a retry of one is answered with an
+      explicit error, never re-executed;
+    * ``next_seq`` — the sequence-number watermark (auto-generated rids
+      embed it; it must never rewind).
+
+    The v1 wire format (``lsn`` + ``blobs`` only) is still decoded; the
+    lifecycle fields default to empty, which recovery treats as "scan
+    the whole retained journal" — exactly the old behavior.
     """
 
     lsn: int
     blobs: tuple[bytes, ...]
+    replies: tuple = ()
+    pending: tuple = ()
+    evicted: tuple = ()
+    next_seq: int = 0
 
     def to_bytes(self) -> bytes:
-        body = encode({"lsn": self.lsn, "blobs": list(self.blobs)})
+        body = encode({
+            "lsn": self.lsn,
+            "blobs": list(self.blobs),
+            "replies": [list(entry) for entry in self.replies],
+            "pending": list(self.pending),
+            "evicted": list(self.evicted),
+            "next_seq": self.next_seq,
+        })
         return _CKPT_MAGIC + sha256(_CKPT_MAGIC, body) + body
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "Checkpoint":
-        if not blob.startswith(_CKPT_MAGIC):
+        if blob.startswith(_CKPT_MAGIC):
+            magic = _CKPT_MAGIC
+        elif blob.startswith(_CKPT_MAGIC_V1):
+            magic = _CKPT_MAGIC_V1
+        else:
             raise JournalError("not a service checkpoint (bad magic)")
-        digest = blob[len(_CKPT_MAGIC) : len(_CKPT_MAGIC) + 32]
-        body = blob[len(_CKPT_MAGIC) + 32 :]
-        if sha256(_CKPT_MAGIC, body) != digest:
+        digest = blob[len(magic) : len(magic) + 32]
+        body = blob[len(magic) + 32 :]
+        if sha256(magic, body) != digest:
             raise JournalError("checkpoint integrity digest mismatch")
         try:
             state = decode(body)
         except ValueError as exc:
             raise JournalError(f"checkpoint body undecodable: {exc}") from exc
-        return cls(lsn=state["lsn"], blobs=tuple(state["blobs"]))
+        return cls(
+            lsn=state["lsn"],
+            blobs=tuple(state["blobs"]),
+            replies=tuple(
+                (rid, status, body_)
+                for rid, status, body_ in state.get("replies", ())
+            ),
+            pending=tuple(state.get("pending", ())),
+            evicted=tuple(state.get("evicted", ())),
+            next_seq=state.get("next_seq", 0),
+        )

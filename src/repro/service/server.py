@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import random
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -50,6 +50,7 @@ from repro.core.engine import ProtocolError
 from repro.crypto.cl_sig import BlindIssuanceRequest
 from repro.ecash.dec import DoubleSpendError
 from repro.ecash.spend import SpendToken
+from repro.crypto.hashing import sha256
 from repro.net.transport import Transport
 from repro.service.admission import AdmissionController
 from repro.service.batcher import (
@@ -70,6 +71,13 @@ _CRYPTO_KINDS = ("deposit", "withdraw")
 _CHEAP_KINDS = ("open-account", "balance", "audit")
 #: kinds that mutate bank state — exactly these are journaled
 _MUTATING_KINDS = ("open-account", "deposit", "withdraw")
+
+#: default reply-cache bound; ``None`` disables eviction entirely
+DEFAULT_REPLY_CACHE = 65536
+
+#: evicted-rid tombstones kept per cached reply (the tombstone set is
+#: bounded at ``reply_cache * _TOMBSTONES_PER_REPLY``)
+_TOMBSTONES_PER_REPLY = 4
 
 
 @dataclass(frozen=True)
@@ -123,6 +131,7 @@ class MarketService:
         name: str = SERVICE,
         clock: Callable[[], float] = time.perf_counter,
         journal: Journal | None = None,
+        reply_cache: int | None = DEFAULT_REPLY_CACHE,
         telemetry: "obs.Telemetry | None" = None,
     ) -> None:
         self.bank = bank
@@ -149,12 +158,24 @@ class MarketService:
         self._queues: dict[str, deque[_Pending]] = {}
         self._sender_order: list[str] = []
         self._in_flight: dict[int, _Pending] = {}
-        self._replies: dict[str, tuple[str, dict]] = {}  # rid -> cached reply
-        self._accepted: set[str] = set()  # rids accepted but not yet replied
+        # rid -> cached reply, completion-ordered so eviction is FIFO
+        if reply_cache is not None and reply_cache < 1:
+            raise ValueError("reply_cache must be positive (or None)")
+        self.reply_cache = reply_cache
+        self._replies: OrderedDict[str, tuple[str, dict]] = OrderedDict()
+        # tombstone digests of evicted rids (bounded FIFO set): a retry
+        # of one is answered with an explicit ERROR, never re-executed
+        self._evicted: OrderedDict[str, None] = OrderedDict()
+        #: rid -> accept state ({sender, kind, seq, payload}) for
+        #: requests accepted but not yet replied; checkpoints carry
+        #: these so in-flight work survives compaction of its records
+        self._accepted: dict[str, dict] = {}
         self.failures: list[RequestFailure] = []
         self.completions = 0
         self.shed = 0
         self.dedup_hits = 0
+        self.reply_evictions = 0
+        self.tombstone_hits = 0
         self._observers: list[Callable[[Completion], None]] = []
 
     # -- instrumentation ---------------------------------------------------
@@ -189,6 +210,17 @@ class MarketService:
         self._m_dedup = registry.counter(
             "repro_service_dedup_hits_total",
             "duplicate rids answered from the reply cache",
+        )
+        self._m_evictions = registry.counter(
+            "repro_service_reply_evictions_total",
+            "cached replies evicted by the reply-cache bound",
+        )
+        self._m_tombstone_hits = registry.counter(
+            "repro_service_tombstone_hits_total",
+            "retries of evicted rids answered by tombstone (never re-run)",
+        )
+        self._m_reply_cache = registry.gauge(
+            "repro_service_reply_cache_size", "cached replies currently held"
         )
         self._m_queue_depth = registry.gauge(
             "repro_service_queue_depth", "accepted-but-unapplied requests"
@@ -246,6 +278,33 @@ class MarketService:
         """
         return self._replies.get(rid)
 
+    @staticmethod
+    def _tombstone(rid: str) -> str:
+        """Eviction tombstone digest of *rid* (never the rid itself)."""
+        return sha256(b"reply-tombstone", rid.encode()).hex()[:16]
+
+    def _remember_reply(self, rid: str, status: str, body: dict) -> None:
+        """Cache a verdict, evicting oldest entries past the bound.
+
+        Evicted rids leave a tombstone digest behind so an in-flight
+        retry is still answered deterministically (explicit ``ERROR``)
+        instead of being re-executed; the tombstone set itself is FIFO
+        and bounded, which is the documented narrowing: a retry arriving
+        after *both* bounds have rotated past its rid is treated as new.
+        """
+        self._replies[rid] = (status, body)
+        if self.reply_cache is None:
+            return
+        while len(self._replies) > self.reply_cache:
+            evicted_rid, _verdict = self._replies.popitem(last=False)
+            self._evicted[self._tombstone(evicted_rid)] = None
+            self.reply_evictions += 1
+            self._m_evictions.inc()
+        bound = self.reply_cache * _TOMBSTONES_PER_REPLY
+        while len(self._evicted) > bound:
+            self._evicted.popitem(last=False)
+        self._m_reply_cache.set(len(self._replies))
+
     # -- accept ------------------------------------------------------------
     def submit(self, sender: str, kind: str, payload: Any, *, now: float = 0.0,
                rid: str | None = None) -> int:
@@ -285,6 +344,22 @@ class MarketService:
                 self.transport.send(self.name, sender, "reply",
                                     {"req": seq, "status": status, **body})
                 return seq
+            if self._evicted and self._tombstone(rid) in self._evicted:
+                # the request completed long ago and its cached verdict
+                # was evicted: answer explicitly rather than re-execute
+                # (a re-run withdraw would double-debit)
+                self.dedup_hits += 1
+                self.tombstone_hits += 1
+                self._m_dedup.inc()
+                self._m_tombstone_hits.inc()
+                span.set(dedup=True, evicted=True)
+                self.transport.send(
+                    self.name, sender, "reply",
+                    {"req": seq, "status": "ERROR",
+                     "error": "reply evicted: request already completed; "
+                              "original verdict no longer cached"},
+                )
+                return seq
             if rid in self._accepted:
                 self.dedup_hits += 1
                 self._m_dedup.inc()
@@ -309,7 +384,8 @@ class MarketService:
                         {"sender": sender, "kind": kind, "seq": seq,
                          "payload": delivered},
                     )
-                self._accepted.add(rid)
+                self._accepted[rid] = {"sender": sender, "kind": kind,
+                                       "seq": seq, "payload": delivered}
             pending = _Pending(seq=seq, sender=sender, kind=kind,
                                payload=delivered, submitted_at=self._clock(),
                                rid=rid, trace=tid or "")
@@ -490,8 +566,8 @@ class MarketService:
                 if self.journal is not None:
                     self.journal.append("reply", rid, kind,
                                         {"status": status, "body": body})
-                self._replies[rid] = (status, body)
-                self._accepted.discard(rid)
+                self._remember_reply(rid, status, body)
+                self._accepted.pop(rid, None)
             self.transport.send(self.name, sender, "reply",
                                 {"req": seq, "status": status, **body})
         counter = self._m_replies.get(status)
@@ -505,8 +581,31 @@ class MarketService:
 
     # -- crash recovery ----------------------------------------------------
     def checkpoint(self) -> Checkpoint:
-        """Snapshot the sharded books at the current journal position."""
-        return self.bank.checkpoint()
+        """Snapshot the books *and* the request-lifecycle state.
+
+        The bank contributes the per-shard blobs (incremental — clean
+        shards reuse cached bytes); the service adds the reply cache,
+        the in-flight accepts, the eviction tombstones and the sequence
+        watermark.  A checkpoint carrying these is self-sufficient:
+        recovery no longer needs any journal record at or before
+        ``lsn``, which is exactly what licenses
+        :meth:`Journal.compact <repro.service.journal.Journal.compact>`
+        to delete those records.
+        """
+        base = self.bank.checkpoint()
+        return Checkpoint(
+            lsn=base.lsn,
+            blobs=base.blobs,
+            replies=tuple(
+                (rid, status, body)
+                for rid, (status, body) in self._replies.items()
+            ),
+            pending=tuple(
+                {"rid": rid, **state} for rid, state in self._accepted.items()
+            ),
+            evicted=tuple(self._evicted),
+            next_seq=self._next_seq,
+        )
 
     @classmethod
     def recover(
@@ -523,25 +622,31 @@ class MarketService:
         admission: AdmissionController | None = None,
         name: str = SERVICE,
         clock: Callable[[], float] = time.perf_counter,
+        reply_cache: int | None = DEFAULT_REPLY_CACHE,
         telemetry: "obs.Telemetry | None" = None,
         tables: bytes | None = None,
     ) -> "MarketService":
         """Restart the service from a checkpoint plus the journal.
 
-        Three passes over the request lifecycle records:
+        The bank replays ``apply`` records after the checkpoint
+        (:meth:`ShardedBank.recover`) — committed state is rebuilt with
+        zero lost and zero double-applied mutations.  The request
+        lifecycle is then rebuilt from the checkpoint plus the retained
+        records (the journal may have been compacted; everything at or
+        before ``checkpoint.lsn`` is represented by the checkpoint's
+        ``replies``/``pending``/``evicted``/``next_seq`` fields):
 
-        1. the bank replays ``apply`` records after the checkpoint
-           (:meth:`ShardedBank.recover`) — committed state is rebuilt
-           with zero lost and zero double-applied mutations;
-        2. ``reply`` records (and ``apply`` records whose reply was
+        1. ``reply`` records (and ``apply`` records whose reply was
            lost in the crash, for which an ``OK`` answer is
            synthesized from the redo payload) repopulate the reply
            cache, so client retries of completed requests get their
            original verdicts;
-        3. ``accept`` records with neither apply nor reply — requests
-           that were in flight mid-batch when the service died — are
+        2. accepted requests with neither apply nor reply — in flight
+           mid-batch when the service died, found as retained
+           ``accept`` records or checkpoint ``pending`` entries — are
            re-enqueued for verification: accepted deposits are never
-           lost, merely re-verified.
+           lost, merely re-verified.  A rid whose reply was *evicted*
+           is never re-enqueued (its tombstone answers retries).
 
         *tables* is an optional serialized verification-table blob
         (:func:`repro.ecash.spend.export_verification_tables`), saved
@@ -564,11 +669,12 @@ class MarketService:
                 )
             service = cls(bank, transport=transport, batcher=batcher,
                           admission=admission, rng=rng, name=name,
-                          clock=clock, telemetry=telemetry)
+                          clock=clock, reply_cache=reply_cache,
+                          telemetry=telemetry)
             accepts: dict[str, JournalRecord] = {}
             applies: dict[str, JournalRecord] = {}
             replies: dict[str, JournalRecord] = {}
-            max_seq = -1
+            max_seq = (checkpoint.next_seq - 1) if checkpoint is not None else -1
             for record in journal.records():
                 if record.kind == "accept":
                     accepts.setdefault(record.rid, record)
@@ -579,17 +685,36 @@ class MarketService:
                     replies.setdefault(record.rid, record)
             # auto-generated rids embed the sequence number; never reuse one
             service._next_seq = max_seq + 1
+            # seed from the checkpoint first (its entries are the oldest,
+            # keeping eviction order right), then layer the retained tail
+            if checkpoint is not None:
+                for digest in checkpoint.evicted:
+                    service._evicted[digest] = None
+                for rid, status, body in checkpoint.replies:
+                    service._remember_reply(rid, status, body)
             for rid, record in replies.items():
-                service._replies[rid] = (record.payload["status"],
-                                         record.payload["body"])
-            for rid, record in applies.items():
                 if rid not in service._replies:
-                    service._replies[rid] = cls._synthesize_reply(record)
-            service.redone = 0
+                    service._remember_reply(rid, record.payload["status"],
+                                            record.payload["body"])
+            for rid, record in applies.items():
+                if rid not in service._replies \
+                        and service._tombstone(rid) not in service._evicted:
+                    status, body = cls._synthesize_reply(record)
+                    service._remember_reply(rid, status, body)
+            in_flight: dict[str, dict] = {}
+            if checkpoint is not None:
+                for state in checkpoint.pending:
+                    in_flight[state["rid"]] = state
+                    max_seq = max(max_seq, state.get("seq", -1))
+                service._next_seq = max(service._next_seq, max_seq + 1)
             for rid, record in accepts.items():
-                if rid in service._replies or rid in applies:
+                in_flight.setdefault(rid, {"rid": rid, **record.payload})
+            service.redone = 0
+            for rid, state in in_flight.items():
+                if rid in service._replies or rid in applies \
+                        or service._tombstone(rid) in service._evicted:
                     continue
-                service._resubmit(record)
+                service._resubmit(state)
                 service.redone += 1
             span.set(redone=service.redone)
         service._m_recoveries.inc()
@@ -608,19 +733,24 @@ class MarketService:
             return "OK", {"balance": payload["balance"]}
         raise ValueError(f"cannot synthesize a reply for op {record.op!r}")
 
-    def _resubmit(self, record: JournalRecord) -> None:
-        """Re-enqueue an accepted-but-unanswered request after recovery."""
-        payload = record.payload
-        sender, kind = payload["sender"], payload["kind"]
+    def _resubmit(self, state: dict) -> None:
+        """Re-enqueue an accepted-but-unanswered request after recovery.
+
+        *state* is an accept record's payload plus its ``rid`` — the
+        same shape a checkpoint's ``pending`` entries carry.
+        """
+        rid = state["rid"]
+        sender, kind = state["sender"], state["kind"]
         seq = self._next_seq
         self._next_seq += 1
         tracer = self.obs.tracer
         pending = _Pending(seq=seq, sender=sender, kind=kind,
-                           payload=payload["payload"],
-                           submitted_at=self._clock(), rid=record.rid,
-                           trace=obs.trace_id(record.rid)
+                           payload=state["payload"],
+                           submitted_at=self._clock(), rid=rid,
+                           trace=obs.trace_id(rid)
                            if tracer.enabled else "")
-        self._accepted.add(record.rid)
+        self._accepted[rid] = {"sender": sender, "kind": kind,
+                               "seq": seq, "payload": state["payload"]}
         if sender not in self._queues:
             self._queues[sender] = deque()
             self._sender_order.append(sender)

@@ -94,6 +94,10 @@ class ShardedBank:
         #: write-ahead journal; every mutation appends its redo record
         #: here *before* the books change (None = journaling off)
         self.journal = journal
+        # incremental-snapshot bookkeeping: shards mutated since the
+        # last snapshot() call, plus the blobs of the clean ones
+        self._dirty: set[int] = set(range(n_shards))
+        self._blob_cache: dict[int, bytes] = {}
         self._bind_obs(telemetry)
 
     def _bind_obs(self, telemetry: "obs.Telemetry | None") -> None:
@@ -123,6 +127,10 @@ class ShardedBank:
         if self.journal is not None:
             self.journal.append("apply", rid, op, payload)
 
+    def _touch(self, index: int) -> None:
+        """Mark shard *index* dirty for the next incremental snapshot."""
+        self._dirty.add(index)
+
     @property
     def public_key(self) -> CLPublicKey:
         return self.keypair.public
@@ -143,6 +151,7 @@ class ShardedBank:
         with self.obs.tracer.span("shard_apply", kind="open-account", shard=shard):
             self._journal_apply(rid, "open-account",
                                 {"aid": aid, "balance": initial_balance})
+            self._touch(shard)
             home.open_account(aid, initial_balance)
 
     def has_account(self, aid: str) -> bool:
@@ -173,6 +182,7 @@ class ShardedBank:
             payload.update(extra)
         with self.obs.tracer.span("shard_apply", kind="withdraw", shard=shard):
             self._journal_apply(rid, "withdraw", payload)
+            self._touch(shard)
             home.accounts[aid] -= value
             home.withdrawals.append(aid)
 
@@ -243,17 +253,32 @@ class ShardedBank:
         record = (aid, level, index, self.deposit_seq)
         self.deposit_seq += 1
         for serial in serials:
+            self._touch(serial_shard(serial, self.n_shards))
             self.serial_home(serial)._seen_serials[serial] = record
+        self._touch(account_shard(aid, self.n_shards))
         self.account_home(aid).accounts[aid] += amount
 
     # -- persistence (composed from core.ledger) ---------------------------
     def snapshot(self) -> list[bytes]:
-        """One :func:`snapshot_bank` blob per shard, in shard order."""
-        for shard in self.shards:
-            # the global sequence counter rides along in every shard so
-            # any subset of restored shards can re-derive it
-            shard.deposit_seq = self.deposit_seq
-        return [snapshot_bank(shard) for shard in self.shards]
+        """One :func:`snapshot_bank` blob per shard, in shard order.
+
+        Incremental (copy-on-write): only shards mutated since the last
+        call are re-serialized; a clean shard reuses its cached blob
+        byte for byte, which is what lets the segmented journal's
+        content-addressed checkpoint store skip re-writing it entirely.
+        ``deposit_seq`` is stamped into re-serialized shards only — a
+        deposit always dirties the shards it touched, so the per-shard
+        ``max`` that :meth:`restore` takes still recovers the global
+        counter exactly.
+        """
+        blobs: list[bytes] = []
+        for index, shard in enumerate(self.shards):
+            if index in self._dirty or index not in self._blob_cache:
+                shard.deposit_seq = self.deposit_seq
+                self._blob_cache[index] = snapshot_bank(shard)
+            blobs.append(self._blob_cache[index])
+        self._dirty.clear()
+        return blobs
 
     def restore(self, blobs: Sequence[bytes]) -> None:
         """Restore all shards; shard count and order must match.
@@ -276,6 +301,8 @@ class ShardedBank:
             except SnapshotError as exc:
                 raise SnapshotError(f"shard {index}: {exc}") from exc
         self.deposit_seq = max(shard.deposit_seq for shard in self.shards)
+        self._dirty = set(range(self.n_shards))
+        self._blob_cache.clear()
 
     # -- crash recovery (checkpoint + journal replay) ----------------------
     def checkpoint(self) -> Checkpoint:
@@ -311,6 +338,14 @@ class ShardedBank:
         if checkpoint is not None:
             bank.restore(checkpoint.blobs)
             start = checkpoint.lsn
+        if journal.first_lsn > start + 1:
+            # compaction deleted records the given checkpoint does not
+            # cover; replaying only the tail would silently lose state
+            raise JournalError(
+                f"journal compacted to lsn {journal.first_lsn} but recovery "
+                f"starts at lsn {start + 1}; pass the checkpoint the journal "
+                "was compacted against"
+            )
         applied: set[str] = set()
         replayed = 0
         with bank.obs.tracer.span("bank_replay", lsn=journal.last_lsn) as span:
@@ -345,6 +380,7 @@ class ShardedBank:
                     f"journal replay (lsn {record.lsn}): account {aid!r} "
                     "already exists"
                 )
+            self._touch(account_shard(aid, self.n_shards))
             home.open_account(aid, payload["balance"])
         elif record.op == "withdraw":
             aid = payload["aid"]
@@ -354,6 +390,7 @@ class ShardedBank:
                     f"journal replay (lsn {record.lsn}): account {aid!r} "
                     f"cannot cover a withdrawal of {payload['value']}"
                 )
+            self._touch(account_shard(aid, self.n_shards))
             home.accounts[aid] -= payload["value"]
             home.withdrawals.append(aid)
         elif record.op == "deposit":

@@ -27,6 +27,7 @@ See ``docs/testing.md`` for the seed/replay workflow.
 
 from repro.testing.faults import (
     CrashPoint,
+    StorageCrasher,
     FaultClock,
     FaultPlan,
     FaultyTransport,
@@ -49,6 +50,7 @@ __all__ = [
     "FaultClock",
     "FaultyTransport",
     "CrashPoint",
+    "StorageCrasher",
     "InvariantReport",
     "check_recovery_invariants",
     "check_cluster_invariants",

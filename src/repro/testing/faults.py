@@ -22,6 +22,13 @@ Two layers of injection:
   flushed batch — exactly the windows the write-ahead journal must
   cover.  The clock is shared across service incarnations, so crash
   points keep firing after recoveries.
+* **Storage crash steps** (:class:`StorageCrasher`) kill the process
+  *inside* the segmented journal's checkpoint and compaction sequences
+  (:class:`~repro.service.journal.SegmentedFileJournal` calls its
+  ``crash_hook`` with a step label at every named point).  A recording
+  pass enumerates the steps a maintenance cycle performs; a sweep then
+  re-runs the cycle crashing at each step index in turn and asserts
+  recovery equivalence from whatever the crash left on disk.
 """
 
 from __future__ import annotations
@@ -36,6 +43,7 @@ __all__ = [
     "FaultClock",
     "FaultPlan",
     "FaultyTransport",
+    "StorageCrasher",
     "Delivery",
 ]
 
@@ -45,12 +53,40 @@ class CrashPoint(RuntimeError):
 
     The harness treats this as the process being killed: the service
     and bank objects are abandoned, and recovery starts from the
-    journal plus the last checkpoint.
+    journal plus the last checkpoint.  *label* names the storage step
+    for crashes injected inside checkpointing/compaction (see
+    :class:`StorageCrasher`); envelope-clock crashes leave it empty.
     """
 
-    def __init__(self, envelope_seq: int) -> None:
-        super().__init__(f"scripted crash at envelope {envelope_seq}")
+    def __init__(self, envelope_seq: int, label: str = "") -> None:
+        where = f" ({label})" if label else ""
+        super().__init__(f"scripted crash at envelope {envelope_seq}{where}")
         self.envelope_seq = envelope_seq
+        self.label = label
+
+
+class StorageCrasher:
+    """A ``crash_hook`` for :class:`~repro.service.journal.SegmentedFileJournal`.
+
+    Records every step label it is called with (:attr:`steps`); when
+    *crash_at* is set, the call at that index raises
+    :class:`CrashPoint` — the harness's simulated SIGKILL in the middle
+    of a checkpoint or compaction.  Typical use: one recording pass
+    with ``crash_at=None`` to learn how many steps a maintenance cycle
+    has, then one sweep run per index.
+    """
+
+    def __init__(self, crash_at: int | None = None) -> None:
+        self.crash_at = crash_at
+        self.steps: list[str] = []
+        self.fired: str | None = None
+
+    def __call__(self, label: str) -> None:
+        index = len(self.steps)
+        self.steps.append(label)
+        if self.crash_at is not None and index == self.crash_at:
+            self.fired = label
+            raise CrashPoint(index, label=label)
 
 
 class FaultClock:

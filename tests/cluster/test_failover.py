@@ -100,3 +100,49 @@ def test_router_with_no_feed_reports_staleness_after_kill(local_cluster):
         local_cluster.kill(victim)
         with pytest.raises(StaleClusterMapError):
             router.request("balance", {"aid": "sp0"}, sender="sp0")
+
+
+def test_retention_bounds_node_journals_and_failover_still_works(
+        dec_params_toy, cluster_keypair):
+    """``journal_retention`` compacts each node's in-memory journal to
+    the replica-durable cut, and adoption still recovers exactly —
+    the shipped checkpoint + tail replaces the deleted prefix."""
+    from repro.cluster import LocalCluster
+
+    rng = random.Random(77)
+    with LocalCluster(dec_params_toy, cluster_keypair, n_nodes=3,
+                      checkpoint_every=4, segment_records=4,
+                      journal_retention=0) as cluster:
+        with cluster.router(attempts=2, backoff=0.01,
+                            refresh_backoff=0.01) as router:
+            deposits = mint_cluster_deposit_traffic(
+                router, dec_params_toy, cluster_keypair.public, rng,
+                n_accounts=4, n_deposits=8, replay_fraction=0.0,
+            )
+            report = run_cluster_trace(router, deposits)
+            assert report.errors == 0
+
+            # retention actually dropped journal prefixes somewhere:
+            # every node saw >= checkpoint_every records, so at least
+            # one compaction fired after a shipped checkpoint
+            assert any(node.journal.first_lsn > 0
+                       for node in cluster.nodes.values())
+            for node in cluster.nodes.values():
+                shipped = node.shipper.last_checkpoint_lsn
+                if node.journal.first_lsn > 0:
+                    assert node.journal.first_lsn <= shipped + 1
+
+            victim = cluster.map.owner_of(deposits[0].payload["aid"])
+            probe = _aid_owned_by(cluster.map, victim, prefix="ret")
+            before = router.request("open-account",
+                                    {"aid": probe, "balance": 3},
+                                    sender="probe", rid="ret-rid")
+            assert before == {"status": "OK", "balance": 3}
+            cluster.kill(victim)
+            adopter = cluster.failover(victim)
+            # the adopted slice answers the pre-kill rid idempotently
+            again = router.request("open-account",
+                                   {"aid": probe, "balance": 3},
+                                   sender="probe", rid="ret-rid")
+            assert again == before
+            assert victim in cluster.nodes[adopter].serving()

@@ -12,7 +12,7 @@ from repro.cluster.replicate import (
     control_call,
     journal_from_records,
 )
-from repro.service.journal import Checkpoint, Journal
+from repro.service.journal import Checkpoint, Journal, JournalError
 
 
 def _wait(predicate, *, timeout: float = 5.0) -> None:
@@ -163,3 +163,100 @@ def test_receiver_without_control_rejects_unknown_frames():
     with ReplicaReceiver() as receiver:
         reply = control_call(receiver.address, {"type": "mystery"})
         assert reply["ok"] is False
+
+
+# -- segment-aware shipping (see docs/storage.md) --------------------------
+
+def test_record_frames_carry_their_segment_id():
+    with ReplicaReceiver() as receiver:
+        journal = Journal(segment_records=2)
+        shipper = JournalShipper("src", receiver.address, segment_records=2)
+        journal.add_observer(shipper.on_record)
+        _records(journal, 5)
+        slot = receiver.slot("src")
+        _wait(lambda: slot.last_lsn == 4)
+        assert slot.last_segment == 2  # lsn 4 lives in segment [4, 6)
+        shipper.close()
+
+
+def test_sync_hello_answers_with_the_receiver_cursor():
+    with ReplicaReceiver() as receiver:
+        journal = Journal(segment_records=2)
+        shipper = JournalShipper("src", receiver.address, segment_records=2)
+        journal.add_observer(shipper.on_record)
+        _records(journal, 3)
+        slot = receiver.slot("src")
+        _wait(lambda: slot.last_lsn == 2)
+        cursor = control_call(receiver.address,
+                              {"type": "hello", "node": "src", "sync": True})
+        assert cursor == {"ok": True, "type": "cursor", "node": "src",
+                          "segment": 1, "lsn": 2}
+        shipper.close()
+
+
+def test_reconnect_prunes_the_spool_to_the_peer_cursor():
+    with ReplicaReceiver() as receiver:
+        journal = Journal(segment_records=2)
+        shipper = JournalShipper("src", receiver.address, segment_records=2,
+                                 reconnect_backoff=0.02)
+        journal.add_observer(shipper.on_record)
+        _records(journal, 4)  # lsns 0-3 arrive on the hot path
+        slot = receiver.slot("src")
+        _wait(lambda: slot.last_lsn == 3)
+        # simulate a flaky link: drop the socket, spool overlap + news
+        with shipper._lock:
+            shipper._drop_locked()
+        for record in list(journal.records()):   # overlap: lsns 0-3
+            shipper.on_record(record)
+        _records(journal, 2, start=4)            # news: lsns 4-5 spool too
+        shipped_before = shipper.shipped_records
+        _wait(lambda: shipper.healthy)
+        _wait(lambda: slot.last_lsn == 5)
+        # the cursor ack (lsn 3) pruned the overlap: only 4 and 5 resent
+        assert shipper.shipped_records == shipped_before + 2
+        assert [r["lsn"] for r in slot.records] == [0, 1, 2, 3, 4, 5]
+        shipper.close()
+
+
+def test_trim_on_checkpoint_bounds_the_slot_and_keeps_the_cursor():
+    with ReplicaReceiver(trim_on_checkpoint=True) as receiver:
+        journal = Journal(segment_records=2)
+        shipper = JournalShipper("src", receiver.address, segment_records=2,
+                                 checkpoint_every=4)
+        shipper.bind_checkpoints(
+            lambda: Checkpoint(lsn=journal.last_lsn, blobs=(b"snap",))
+        )
+        journal.add_observer(shipper.on_record)
+        _records(journal, 4)
+        assert shipper.maybe_checkpoint() is True
+        assert shipper.last_checkpoint_lsn == 3
+        slot = receiver.slot("src")
+        _wait(lambda: slot.checkpoint is not None)
+        _wait(lambda: slot.records == [])  # lsns 0-3 are inside the snapshot
+        assert slot.checkpoint_lsn == 3
+        assert slot.last_lsn == 3  # the cursor survives the trim
+        _records(journal, 2, start=4)
+        _wait(lambda: [r["lsn"] for r in slot.records] == [4, 5])
+        # checkpoint + tail is exactly what adoption needs
+        restored = Checkpoint.from_bytes(slot.checkpoint)
+        tail = journal_from_records(slot.records)
+        assert tail.first_lsn == restored.lsn + 1
+        shipper.close()
+
+
+def test_journal_from_records_keeps_a_nonzero_base_lsn():
+    source = Journal()
+    _records(source, 6)
+    states = [r.to_state() for r in source.records(after=3)]
+    rebuilt = journal_from_records(states)
+    assert rebuilt.first_lsn == 4 and rebuilt.last_lsn == 5
+    assert [r.lsn for r in rebuilt.records()] == [4, 5]
+
+
+def test_journal_from_records_rejects_gapped_streams():
+    source = Journal()
+    _records(source, 4)
+    states = [r.to_state() for r in source.records()]
+    del states[1]
+    with pytest.raises(JournalError, match="gap"):
+        journal_from_records(states)

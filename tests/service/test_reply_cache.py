@@ -1,0 +1,195 @@
+"""Bounded reply-cache eviction: idempotence survives the bound.
+
+The exactly-once layer caches terminal verdicts by rid so an
+at-least-once network can retry safely.  An unbounded cache is a slow
+memory leak, so :class:`MarketService` bounds it FIFO — and the
+regression these tests pin down is the window that opens at the bound:
+a retry of an *evicted* rid must be answered deterministically
+(explicit ``ERROR``) or rejected, but **never re-executed**.  A
+re-executed ``open-account`` would collide, a re-executed withdraw
+would double-debit — the journal's apply-record count per rid is the
+arbiter.  Tombstones ride checkpoints, so the guarantee holds across
+recovery (and across compaction of the evicted reply's records).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.service import Journal, MarketService, ShardedBank
+
+
+def _service(dec_params_toy, *, reply_cache, journal=None):
+    journal = journal if journal is not None else Journal()
+    bank = ShardedBank.create(dec_params_toy, random.Random(3), n_shards=3,
+                              journal=journal)
+    return MarketService(bank, journal=journal, reply_cache=reply_cache,
+                         rng=random.Random(4))
+
+
+def _last_reply(service, sender):
+    envelope = [e for e in service.transport.log
+                if e.receiver == sender and e.kind == "reply"][-1]
+    return envelope.payload
+
+
+def _apply_count(journal, rid):
+    return sum(1 for r in journal.records()
+               if r.kind == "apply" and r.rid == rid)
+
+
+def _flood(service, n, *, start=0):
+    """Complete *n* mutating requests under distinct rids."""
+    for i in range(start, start + n):
+        service.submit("ops", "open-account",
+                       {"aid": f"flood{i}", "balance": i}, rid=f"flood:{i}")
+        service.drain()
+
+
+class TestBound:
+    def test_cache_never_exceeds_the_bound(self, dec_params_toy):
+        service = _service(dec_params_toy, reply_cache=4)
+        _flood(service, 10)
+        assert len(service._replies) == 4
+        assert service.reply_evictions == 6
+        # tombstone set is itself bounded
+        assert len(service._evicted) <= 4 * 4
+
+    def test_unbounded_mode_keeps_everything(self, dec_params_toy):
+        service = _service(dec_params_toy, reply_cache=None)
+        _flood(service, 10)
+        assert len(service._replies) == 10
+        assert service.reply_evictions == 0
+
+    def test_bound_must_be_positive(self, dec_params_toy):
+        with pytest.raises(ValueError):
+            _service(dec_params_toy, reply_cache=0)
+
+    def test_retry_within_the_cache_replays_the_verdict(self, dec_params_toy):
+        service = _service(dec_params_toy, reply_cache=4)
+        service.submit("alice", "open-account", {"aid": "a", "balance": 9},
+                       rid="keep")
+        service.drain()
+        service.submit("alice", "open-account", {"aid": "a", "balance": 9},
+                       rid="keep")
+        reply = _last_reply(service, "alice")
+        assert reply["status"] == "OK" and reply["balance"] == 9
+        assert service.dedup_hits == 1 and service.tombstone_hits == 0
+        assert _apply_count(service.journal, "keep") == 1
+
+
+class TestEvictedRetry:
+    def test_evicted_rid_is_answered_explicitly_never_reexecuted(
+            self, dec_params_toy):
+        journal = Journal()
+        service = _service(dec_params_toy, reply_cache=2, journal=journal)
+        service.submit("alice", "open-account", {"aid": "a", "balance": 9},
+                       rid="victim")
+        service.drain()
+        _flood(service, 5)  # rotates "victim" out of the bounded cache
+        assert "victim" not in service._replies
+        service.submit("alice", "open-account", {"aid": "a", "balance": 9},
+                       rid="victim")
+        service.drain()
+        reply = _last_reply(service, "alice")
+        assert reply["status"] == "ERROR"
+        assert "reply evicted" in reply["error"]
+        assert service.tombstone_hits == 1
+        # the arbiter: exactly one apply record, the account untouched —
+        # a re-execution would have been REJECTED ("already exists"),
+        # which is a different, non-deterministic answer
+        assert _apply_count(journal, "victim") == 1
+        assert service.bank.balance("a") == 9
+
+    def test_evicted_retry_of_an_in_flight_style_duplicate(self,
+                                                           dec_params_toy):
+        """The ISSUE's exact scenario: evict, then the stale retry lands."""
+        journal = Journal()
+        service = _service(dec_params_toy, reply_cache=1, journal=journal)
+        service.submit("bob", "open-account", {"aid": "b", "balance": 5},
+                       rid="slow-retry")
+        service.drain()
+        _flood(service, 3)  # the client's first answer is long evicted
+        before = _apply_count(journal, "slow-retry")
+        seq = service.submit("bob", "open-account",
+                             {"aid": "b", "balance": 5}, rid="slow-retry")
+        service.drain()
+        reply = _last_reply(service, "bob")
+        assert reply["req"] == seq and reply["status"] == "ERROR"
+        assert _apply_count(journal, "slow-retry") == before
+        assert service.queue_depth == 0  # rejected at submit, never queued
+
+    def test_tombstones_are_not_journaled(self, dec_params_toy):
+        journal = Journal()
+        service = _service(dec_params_toy, reply_cache=1, journal=journal)
+        _flood(service, 3)
+        lsn = journal.last_lsn
+        service.submit("ops", "open-account", {"aid": "flood0", "balance": 0},
+                       rid="flood:0")  # tombstoned rid
+        assert journal.last_lsn == lsn  # answered without touching the log
+
+
+class TestRecovery:
+    def test_tombstones_survive_checkpoint_recovery(self, dec_params_toy):
+        journal = Journal()
+        service = _service(dec_params_toy, reply_cache=2, journal=journal)
+        service.submit("alice", "open-account", {"aid": "a", "balance": 9},
+                       rid="victim")
+        service.drain()
+        _flood(service, 5)
+        checkpoint = service.checkpoint()
+        recovered = MarketService.recover(
+            service.bank.params, service.bank.keypair, journal,
+            checkpoint=checkpoint, n_shards=3, reply_cache=2,
+        )
+        recovered.submit("alice", "open-account", {"aid": "a", "balance": 9},
+                         rid="victim")
+        recovered.drain()
+        reply = _last_reply(recovered, "alice")
+        assert reply["status"] == "ERROR" and "reply evicted" in reply["error"]
+        assert recovered.tombstone_hits == 1
+        assert _apply_count(journal, "victim") == 1
+        assert recovered.bank.balance("a") == 9
+
+    def test_tombstones_survive_compaction_of_their_records(self,
+                                                            dec_params_toy):
+        """Eviction + compaction together: the reply records are *gone*."""
+        journal = Journal(segment_records=4)
+        service = _service(dec_params_toy, reply_cache=2, journal=journal)
+        service.submit("alice", "open-account", {"aid": "a", "balance": 9},
+                       rid="victim")
+        service.drain()
+        _flood(service, 6)
+        checkpoint = service.checkpoint()
+        journal.compact(checkpoint.lsn, retain_segments=0)
+        assert journal.first_lsn > 0  # victim's records really deleted
+        recovered = MarketService.recover(
+            service.bank.params, service.bank.keypair, journal,
+            checkpoint=checkpoint, n_shards=3, reply_cache=2,
+        )
+        recovered.submit("alice", "open-account", {"aid": "a", "balance": 9},
+                         rid="victim")
+        recovered.drain()
+        reply = _last_reply(recovered, "alice")
+        assert reply["status"] == "ERROR" and "reply evicted" in reply["error"]
+        assert recovered.bank.balance("a") == 9
+
+    def test_recovered_reply_cache_preserves_eviction_order(self,
+                                                            dec_params_toy):
+        journal = Journal()
+        service = _service(dec_params_toy, reply_cache=3, journal=journal)
+        _flood(service, 3)
+        checkpoint = service.checkpoint()
+        recovered = MarketService.recover(
+            service.bank.params, service.bank.keypair, journal,
+            checkpoint=checkpoint, n_shards=3, reply_cache=3,
+        )
+        assert list(recovered._replies) == list(service._replies)
+        # the next completion evicts the *oldest* pre-crash entry
+        recovered.submit("ops", "open-account", {"aid": "post", "balance": 1},
+                         rid="post")
+        recovered.drain()
+        assert "flood:0" not in recovered._replies
+        assert "flood:1" in recovered._replies

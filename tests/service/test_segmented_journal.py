@@ -1,0 +1,350 @@
+"""Segment/epoch journal store: geometry, durability, compaction.
+
+The on-disk contract under test is the one ``docs/storage.md``
+specifies byte-for-byte:
+
+* LSNs are global and dense; segment ``k`` holds ``[k*N, (k+1)*N)``
+  and compaction only ever advances ``first_lsn`` — nothing is
+  renumbered, so every cursor and checkpoint cut stays valid;
+* only the *newest* segment may end in a torn frame (truncated on
+  load); any damage before the tail is corruption and refuses to load;
+* checkpoints are copy-on-write — unchanged shard blobs cost zero new
+  bytes — and the manifest is published last by atomic rename, so the
+  newest manifest on disk always validates;
+* compaction deletes covered segment files, superseded manifests and
+  unreferenced blobs, in that order, and a reload after any prefix of
+  that deletion sequence still recovers (the crash sweeps live in
+  ``tests/testing/test_storage_faults.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.service import (
+    Checkpoint,
+    Journal,
+    JournalError,
+    JournalMaintenance,
+    SegmentedFileJournal,
+    ShardedBank,
+)
+
+
+def _fill(journal: Journal, n: int, *, start: int = 0) -> None:
+    for i in range(start, start + n):
+        journal.append("apply", f"rid{i}", "open-account",
+                       {"aid": f"a{i}", "balance": i})
+
+
+# -- in-memory segment math ------------------------------------------------
+
+class TestSegmentMath:
+    def test_appends_assign_global_lsns_across_segments(self):
+        journal = Journal(segment_records=4)
+        _fill(journal, 10)
+        assert journal.first_lsn == 0 and journal.last_lsn == 9
+        assert journal.segments_retained == 3  # [0,4) [4,8) [8,10)
+        assert journal.segment_of(0) == 0
+        assert journal.segment_of(7) == 1
+        assert journal.segment_of(8) == 2
+
+    def test_compact_drops_only_fully_covered_sealed_segments(self):
+        journal = Journal(segment_records=4)
+        _fill(journal, 10)
+        # durable through lsn 5: only segment 0 ([0,4)) is fully covered,
+        # and retain_segments=1 keeps it anyway
+        assert journal.compact(5) == []
+        # durable through lsn 7 covers segments 0 and 1; retention keeps 1
+        assert journal.compact(7) == [0]
+        assert journal.first_lsn == 4 and journal.last_lsn == 9
+        assert [r.lsn for r in journal.records()] == list(range(4, 10))
+        # recompacting at the same cut is a no-op
+        assert journal.compact(7) == []
+
+    def test_retain_segments_keeps_a_coverable_tail(self):
+        journal = Journal(segment_records=4)
+        _fill(journal, 16)
+        # all four segments are covered; retention keeps the newest two
+        assert journal.compact(15, retain_segments=2) == [0, 1]
+        assert journal.first_lsn == 8
+        assert journal.compact(15, retain_segments=0) == [2, 3]
+        assert journal.first_lsn == 16 and len(journal) == 0
+        # LSNs never restart after a full drop
+        _fill(journal, 1, start=16)
+        assert journal.last_lsn == 16
+
+    def test_durable_lsn_beyond_the_log_is_clamped(self):
+        journal = Journal(segment_records=4)
+        _fill(journal, 6)
+        journal.compact(10_000, retain_segments=0)
+        assert journal.first_lsn == 4  # segment 1 is unsealed, kept
+
+    def test_cursor_inside_the_compacted_prefix_starts_at_first_retained(self):
+        journal = Journal(segment_records=4)
+        _fill(journal, 12)
+        journal.compact(11, retain_segments=1)
+        assert journal.first_lsn == 8
+        assert [r.lsn for r in journal.records(after=-1)] == list(range(8, 12))
+        assert [r.lsn for r in journal.records(after=9)] == list(range(10, 12))
+
+    def test_compaction_telemetry_counters(self):
+        journal = Journal(segment_records=2)
+        _fill(journal, 8)
+        journal.compact(7, retain_segments=1)
+        assert journal.compactions == 1
+        assert journal.segments_dropped == 3  # segments 0-2; 3 is retained
+
+    def test_bad_geometry_and_retention_are_rejected(self):
+        with pytest.raises(JournalError):
+            Journal(segment_records=0)
+        journal = Journal(segment_records=4)
+        with pytest.raises(JournalError):
+            journal.compact(0, retain_segments=-1)
+
+
+# -- segment files on disk -------------------------------------------------
+
+class TestSegmentedFileJournal:
+    def test_roundtrip_reload(self, tmp_path):
+        store = tmp_path / "wal"
+        journal = SegmentedFileJournal(store, segment_records=4)
+        _fill(journal, 10)
+        journal.close()
+        names = sorted(os.listdir(store))
+        assert names == ["seg-00000000.wal", "seg-00000001.wal",
+                         "seg-00000002.wal"]
+        reloaded = SegmentedFileJournal(store, segment_records=4)
+        assert not reloaded.torn_tail
+        assert [r.to_state() for r in reloaded.records()] == [
+            r.to_state() for r in journal.records()
+        ]
+        # appends continue with the next global lsn, into the tail segment
+        _fill(reloaded, 1, start=10)
+        assert reloaded.last_lsn == 10
+        reloaded.close()
+
+    def test_torn_tail_in_newest_segment_is_truncated(self, tmp_path):
+        store = tmp_path / "wal"
+        journal = SegmentedFileJournal(store, segment_records=4)
+        _fill(journal, 6)
+        journal.close()
+        tail = store / "seg-00000001.wal"
+        with open(tail, "ab") as fh:
+            fh.write(b"\x00\x00\x00\x40partial-frame")
+        reloaded = SegmentedFileJournal(store, segment_records=4)
+        assert reloaded.torn_tail
+        assert reloaded.last_lsn == 5  # the torn frame cost nothing durable
+        _fill(reloaded, 1, start=6)   # and appends continue on a clean frame
+        reloaded.close()
+        again = SegmentedFileJournal(store, segment_records=4)
+        assert not again.torn_tail and again.last_lsn == 6
+        again.close()
+
+    def test_damage_before_the_tail_is_corruption(self, tmp_path):
+        store = tmp_path / "wal"
+        journal = SegmentedFileJournal(store, segment_records=4)
+        _fill(journal, 10)
+        journal.close()
+        sealed = store / "seg-00000001.wal"
+        data = sealed.read_bytes()
+        sealed.write_bytes(data[:-3])  # torn frame in a *sealed* segment
+        with pytest.raises(JournalError, match="sealed segment"):
+            SegmentedFileJournal(store, segment_records=4)
+
+    def test_segment_gap_refuses_to_load(self, tmp_path):
+        store = tmp_path / "wal"
+        journal = SegmentedFileJournal(store, segment_records=4)
+        _fill(journal, 12)
+        journal.close()
+        os.unlink(store / "seg-00000001.wal")
+        with pytest.raises(JournalError, match="segment gap"):
+            SegmentedFileJournal(store, segment_records=4)
+
+    def test_geometry_mismatch_refuses_to_load(self, tmp_path):
+        store = tmp_path / "wal"
+        journal = SegmentedFileJournal(store, segment_records=4)
+        _fill(journal, 2)
+        journal.close()
+        with pytest.raises(JournalError, match="capacity"):
+            SegmentedFileJournal(store, segment_records=8)
+
+    def test_compacted_store_reloads_with_advanced_first_lsn(self, tmp_path):
+        store = tmp_path / "wal"
+        journal = SegmentedFileJournal(store, segment_records=4)
+        _fill(journal, 12)
+        journal.write_checkpoint(Checkpoint(lsn=11, blobs=(b"snap",)))
+        dropped = journal.compact(retain_segments=1)
+        assert dropped == [0, 1]
+        journal.close()
+        names = os.listdir(store)
+        assert "seg-00000000.wal" not in names
+        assert "seg-00000001.wal" not in names
+        reloaded = SegmentedFileJournal(store, segment_records=4)
+        assert reloaded.first_lsn == 8 and reloaded.last_lsn == 11
+        reloaded.close()
+
+
+# -- copy-on-write checkpoints --------------------------------------------
+
+class TestCheckpoints:
+    def test_roundtrip_including_lifecycle_state(self, tmp_path):
+        journal = SegmentedFileJournal(tmp_path / "wal", segment_records=4)
+        _fill(journal, 5)
+        checkpoint = Checkpoint(
+            lsn=4, blobs=(b"shard0", b"shard1"),
+            replies=(("r1", "OK", {"balance": 3}),),
+            pending=({"rid": "r2", "sender": "s", "kind": "deposit",
+                      "seq": 9, "payload": {"aid": "a"}},),
+            evicted=("aa" * 8,),
+            next_seq=10,
+        )
+        journal.write_checkpoint(checkpoint)
+        assert journal.load_checkpoint() == checkpoint
+        journal.close()
+
+    def test_unchanged_blobs_are_shared_between_checkpoints(self, tmp_path):
+        store = tmp_path / "wal"
+        journal = SegmentedFileJournal(store, segment_records=4)
+        _fill(journal, 8)
+        journal.write_checkpoint(Checkpoint(lsn=3, blobs=(b"cold", b"hot-v1")))
+        blobs_after_first = {n for n in os.listdir(store)
+                             if n.startswith("blob-")}
+        assert len(blobs_after_first) == 2
+        # one shard unchanged, one rewritten: exactly one new blob file
+        journal.write_checkpoint(Checkpoint(lsn=7, blobs=(b"cold", b"hot-v2")))
+        blobs_after_second = {n for n in os.listdir(store)
+                              if n.startswith("blob-")}
+        assert len(blobs_after_second) == 3
+        assert blobs_after_first < blobs_after_second
+        journal.close()
+
+    def test_corrupt_newest_manifest_falls_back_to_older(self, tmp_path):
+        store = tmp_path / "wal"
+        journal = SegmentedFileJournal(store, segment_records=4)
+        _fill(journal, 8)
+        journal.write_checkpoint(Checkpoint(lsn=3, blobs=(b"old",)))
+        journal.write_checkpoint(Checkpoint(lsn=7, blobs=(b"new",)))
+        newest = store / "ckpt-0000000000000007.mf"
+        data = bytearray(newest.read_bytes())
+        data[-1] ^= 0xFF
+        newest.write_bytes(bytes(data))
+        loaded = journal.load_checkpoint()
+        assert loaded is not None and loaded.lsn == 3
+        assert journal.checkpoint_fallbacks == 1
+        journal.close()
+
+    def test_missing_blob_invalidates_its_manifest(self, tmp_path):
+        store = tmp_path / "wal"
+        journal = SegmentedFileJournal(store, segment_records=4)
+        _fill(journal, 8)
+        journal.write_checkpoint(Checkpoint(lsn=3, blobs=(b"kept",)))
+        journal.write_checkpoint(Checkpoint(lsn=7, blobs=(b"doomed",)))
+        from repro.crypto.hashing import sha256
+        os.unlink(store / f"blob-{sha256(b'doomed').hex()[:16]}.bin")
+        loaded = journal.load_checkpoint()
+        assert loaded is not None and loaded.lsn == 3
+        journal.close()
+
+    def test_compact_gcs_superseded_manifests_and_blobs(self, tmp_path):
+        store = tmp_path / "wal"
+        journal = SegmentedFileJournal(store, segment_records=4)
+        _fill(journal, 12)
+        journal.write_checkpoint(Checkpoint(lsn=3, blobs=(b"v1",)))
+        journal.write_checkpoint(Checkpoint(lsn=11, blobs=(b"v2",)))
+        before = journal.disk_usage()
+        journal.compact(retain_segments=0, retain_checkpoints=1)
+        from repro.crypto.hashing import sha256
+        names = sorted(os.listdir(store))
+        assert names == [f"blob-{sha256(b'v2').hex()[:16]}.bin",
+                         "ckpt-0000000000000011.mf"]
+        assert journal.disk_usage() < before
+        journal.close()
+
+
+# -- maintenance cadence + recovery guard ---------------------------------
+
+class TestMaintenanceAndRecovery:
+    def _bank(self, dec_params_toy, journal):
+        return ShardedBank.create(dec_params_toy, random.Random(7),
+                                  n_shards=3, journal=journal)
+
+    def test_maintenance_cuts_and_compacts_on_cadence(self, tmp_path,
+                                                      dec_params_toy):
+        journal = SegmentedFileJournal(tmp_path / "wal", segment_records=4)
+        bank = self._bank(dec_params_toy, journal)
+        maintenance = JournalMaintenance(
+            journal,
+            lambda: Checkpoint(lsn=journal.last_lsn,
+                               blobs=tuple(bank.snapshot())),
+            checkpoint_every=8, retain_segments=1,
+        )
+        for i in range(6):
+            bank.open_account(f"acct{i}", i)
+        assert maintenance.run() is False  # 6 records < cadence of 8
+        for i in range(6, 12):
+            bank.open_account(f"acct{i}", i)
+        assert maintenance.run() is True
+        assert maintenance.checkpoints_cut == 1
+        assert maintenance.last_checkpoint_lsn == 11
+        assert journal.first_lsn == 8  # segs 0-1 deleted, seg 2 retained
+        assert maintenance.segments_deleted == 2
+        journal.close()
+
+    def test_maintenance_resumes_from_an_existing_checkpoint(self, tmp_path,
+                                                             dec_params_toy):
+        store = tmp_path / "wal"
+        journal = SegmentedFileJournal(store, segment_records=4)
+        _fill(journal, 9)
+        journal.write_checkpoint(Checkpoint(lsn=8, blobs=(b"s",)))
+        journal.close()
+        reopened = SegmentedFileJournal(store, segment_records=4)
+        maintenance = JournalMaintenance(reopened, lambda: None,
+                                         checkpoint_every=8)
+        assert maintenance.last_checkpoint_lsn == 8
+        assert maintenance.run() is False  # nothing appended since the cut
+        reopened.close()
+
+    def test_recover_needs_the_checkpoint_a_compaction_was_cut_against(
+            self, tmp_path, dec_params_toy):
+        journal = SegmentedFileJournal(tmp_path / "wal", segment_records=4)
+        bank = self._bank(dec_params_toy, journal)
+        for i in range(10):
+            bank.open_account(f"acct{i}", 100 + i)
+        journal.write_checkpoint(
+            Checkpoint(lsn=journal.last_lsn, blobs=tuple(bank.snapshot())))
+        journal.compact(retain_segments=0)
+        assert journal.first_lsn == 8
+        with pytest.raises(JournalError, match="compacted"):
+            ShardedBank.recover(bank.params, bank.keypair, random.Random(0),
+                                journal, n_shards=3)
+        checkpoint = journal.load_checkpoint()
+        recovered = ShardedBank.recover(
+            bank.params, bank.keypair, random.Random(0), journal,
+            checkpoint=checkpoint, n_shards=3,
+        )
+        assert [dict(s.accounts) for s in recovered.shards] == [
+            dict(s.accounts) for s in bank.shards
+        ]
+        journal.close()
+
+    def test_incremental_snapshot_only_reserializes_dirty_shards(
+            self, dec_params_toy):
+        bank = ShardedBank.create(dec_params_toy, random.Random(7), n_shards=4)
+        first = bank.snapshot()
+        second = bank.snapshot()  # nothing touched in between
+        assert first == second
+        bank.open_account("fresh", 5)
+        third = bank.snapshot()
+        changed = sum(1 for a, b in zip(second, third) if a != b)
+        # one account landed on one shard; serial homes are untouched
+        assert changed == 1
+        # and restore of an incremental snapshot is still complete
+        clone = ShardedBank.create(dec_params_toy, random.Random(7), n_shards=4)
+        clone.restore(third)
+        assert [dict(s.accounts) for s in clone.shards] == [
+            dict(s.accounts) for s in bank.shards
+        ]
