@@ -43,6 +43,7 @@ from repro.cluster.replicate import (
     journal_from_records,
 )
 from repro.cluster.ring import ClusterMap, DEFAULT_VNODES
+from repro.service.aio import AsyncServiceFrontend
 from repro.service.frontend import ServiceFrontend
 from repro.service.journal import DEFAULT_SEGMENT_RECORDS, Checkpoint, Journal
 from repro.service.server import MarketService
@@ -60,12 +61,17 @@ class ClusterNode:
                  checkpoint_every: int = 64,
                  segment_records: int = DEFAULT_SEGMENT_RECORDS,
                  journal_retention: int | None = None,
+                 async_frontend: bool = False,
                  telemetry: "obs.Telemetry | None" = None) -> None:
         self.id = node_id
         self.params = params
         self.keypair = keypair
         self.n_shards = n_shards
         self.host = host
+        #: serve this node's slices from the asyncio front door instead
+        #: of thread-per-connection; everything behind the listener
+        #: (dispatcher, service, replication hooks) is identical
+        self.async_frontend = async_frontend
         self.checkpoint_every = checkpoint_every
         self.segment_records = segment_records
         #: segments to retain past the replica-durable cut; ``None``
@@ -96,8 +102,9 @@ class ClusterNode:
         self.service = MarketService(bank, name=f"MA-{node_id}",
                                      journal=self.journal,
                                      telemetry=self.telemetry)
-        self.frontend = ServiceFrontend(self.service, host=host, port=port,
-                                        telemetry=self.telemetry).start()
+        frontend_cls = AsyncServiceFrontend if async_frontend else ServiceFrontend
+        self.frontend = frontend_cls(self.service, host=host, port=port,
+                                     telemetry=self.telemetry).start()
         self.receiver = ReplicaReceiver(host=host, port=replica_port,
                                         control=self.control)
         self.shipper: JournalShipper | None = None
@@ -208,8 +215,10 @@ class ClusterNode:
             n_shards=self.n_shards, name=f"MA-{dead}",
             telemetry=self.telemetry,
         )
-        frontend = ServiceFrontend(service, host=self.host, port=0,
-                                   telemetry=self.telemetry).start()
+        frontend_cls = (AsyncServiceFrontend if self.async_frontend
+                        else ServiceFrontend)
+        frontend = frontend_cls(service, host=self.host, port=0,
+                                telemetry=self.telemetry).start()
         with self._lock:
             self.adopted[dead] = (service, frontend)
         self._m_adoptions.inc()
@@ -274,6 +283,7 @@ class LocalCluster:
                  checkpoint_every: int = 64,
                  segment_records: int = DEFAULT_SEGMENT_RECORDS,
                  journal_retention: int | None = None,
+                 async_frontend: bool = False,
                  telemetry_factory=None) -> None:
         if n_nodes < 2:
             raise ValueError("a cluster needs at least two nodes")
@@ -287,7 +297,8 @@ class LocalCluster:
                 name, params, keypair, n_shards=n_shards, seed=i,
                 checkpoint_every=checkpoint_every,
                 segment_records=segment_records,
-                journal_retention=journal_retention, telemetry=telemetry,
+                journal_retention=journal_retention,
+                async_frontend=async_frontend, telemetry=telemetry,
             )
         self.map = ClusterMap(
             version=0, nodes=names,

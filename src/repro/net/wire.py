@@ -25,10 +25,20 @@ Decoding is incremental and torn-tolerant: :class:`FrameDecoder`
 buffers partial frames across ``feed()`` calls and only yields whole,
 checksum-verified, codec-decoded values.  A frame is therefore applied
 completely or not at all — there is no partial-apply window.
+
+Two read paths share the format.  The blocking helpers
+(:func:`read_frame` / :func:`write_frame`) serve thread-per-connection
+peers; :func:`read_frame_async` / :func:`write_frame_async` are the
+same contract over :mod:`asyncio` streams for the event-loop front
+door (:mod:`repro.service.aio`).  :meth:`FrameDecoder.raw_frames`
+exposes complete frames *undecoded* — header plus payload bytes — so
+an overloaded server can answer ``BUSY`` from the header alone without
+spending decode (or even CRC) work on a payload it is about to shed.
 """
 
 from __future__ import annotations
 
+import asyncio
 import struct
 import zlib
 from typing import Any, Iterator
@@ -42,9 +52,13 @@ __all__ = [
     "MAX_FRAME",
     "encode_frame",
     "decode_frame",
+    "parse_header",
+    "decode_payload",
     "FrameDecoder",
     "read_frame",
     "write_frame",
+    "read_frame_async",
+    "write_frame_async",
 ]
 
 MAGIC = b"RPW1"
@@ -69,7 +83,13 @@ def encode_frame(value: Any) -> bytes:
     return _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
 
 
-def _parse_header(header: bytes) -> tuple[int, int]:
+def parse_header(header: bytes) -> tuple[int, int]:
+    """Validate one frame header; returns ``(payload_length, crc32)``.
+
+    The whole pre-parse admission story rests on this being safe to run
+    on hostile input: magic and length are checked before any payload
+    byte is buffered or decoded.
+    """
     magic, length, crc = _HEADER.unpack(header)
     if magic != MAGIC:
         raise WireError(f"bad frame magic {magic!r}")
@@ -78,7 +98,10 @@ def _parse_header(header: bytes) -> tuple[int, int]:
     return length, crc
 
 
-def _decode_payload(payload: bytes, crc: int) -> Any:
+_parse_header = parse_header  # legacy private name
+
+
+def decode_payload(payload: bytes, crc: int) -> Any:
     if zlib.crc32(payload) != crc:
         raise WireError("frame checksum mismatch")
     try:
@@ -87,6 +110,9 @@ def _decode_payload(payload: bytes, crc: int) -> Any:
         raise
     except ValueError as exc:
         raise WireError(f"frame payload does not decode: {exc}") from exc
+
+
+_decode_payload = decode_payload  # legacy private name
 
 
 def decode_frame(data: bytes) -> tuple[Any, int]:
@@ -133,23 +159,42 @@ class FrameDecoder:
             raise self._poisoned
         self._buf += data
 
-    def frames(self) -> Iterator[Any]:
-        """Yield every complete value buffered; keep the torn tail."""
+    def raw_frames(self) -> Iterator[tuple[int, int, bytes]]:
+        """Yield ``(length, crc, payload)`` for every complete frame.
+
+        The undecoded sibling of :meth:`frames`: the header is
+        validated (magic, length cap) but the payload is handed back
+        as raw bytes — neither CRC-checked nor codec-decoded.  This is
+        the pre-parse admission hook: an overloaded front door consumes
+        the frame (staying synchronized on the stream) and sheds it for
+        the cost of a 12-byte header parse.  Callers that do want the
+        value pass the tuple to :func:`decode_payload`.
+        """
         if self._poisoned is not None:
             raise self._poisoned
         while True:
             if len(self._buf) < HEADER_SIZE:
                 return
             try:
-                length, crc = _parse_header(bytes(self._buf[:HEADER_SIZE]))
-                end = HEADER_SIZE + length
-                if len(self._buf) < end:
-                    return
-                value = _decode_payload(bytes(self._buf[HEADER_SIZE:end]), crc)
+                length, crc = parse_header(bytes(self._buf[:HEADER_SIZE]))
             except WireError as exc:
                 self._poisoned = exc
                 raise
+            end = HEADER_SIZE + length
+            if len(self._buf) < end:
+                return
+            payload = bytes(self._buf[HEADER_SIZE:end])
             del self._buf[:end]
+            yield length, crc, payload
+
+    def frames(self) -> Iterator[Any]:
+        """Yield every complete value buffered; keep the torn tail."""
+        for _length, crc, payload in self.raw_frames():
+            try:
+                value = decode_payload(payload, crc)
+            except WireError as exc:
+                self._poisoned = exc
+                raise
             yield value
 
 
@@ -186,8 +231,48 @@ def read_frame(sock) -> Any:
     header = _recv_exact(sock, HEADER_SIZE)
     if header is None:
         return None
-    length, crc = _parse_header(header)
+    length, crc = parse_header(header)
     payload = _recv_exact(sock, length) if length else b""
     if payload is None:
         raise WireError("connection closed before frame payload")
-    return _decode_payload(payload, crc)
+    return decode_payload(payload, crc)
+
+
+async def read_frame_async(reader: "asyncio.StreamReader") -> Any:
+    """One complete frame from an asyncio stream.
+
+    The event-loop twin of :func:`read_frame`, with the identical
+    contract: the decoded value, ``None`` on a clean EOF *between*
+    frames, and a :class:`WireError` on EOF inside a frame or any
+    format violation — never a hang, never a partial apply.
+    """
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise WireError(
+            f"connection closed mid-frame "
+            f"({len(exc.partial)}/{HEADER_SIZE} bytes)"
+        ) from exc
+    length, crc = parse_header(header)
+    if length:
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise WireError("connection closed before frame payload") from exc
+    else:
+        payload = b""
+    return decode_payload(payload, crc)
+
+
+async def write_frame_async(writer: "asyncio.StreamWriter", value: Any) -> int:
+    """Frame *value* onto an asyncio stream; returns the bytes sent.
+
+    ``drain()`` is awaited, so a slow peer exerts backpressure on the
+    writing coroutine instead of growing an unbounded transport buffer.
+    """
+    frame = encode_frame(value)
+    writer.write(frame)
+    await writer.drain()
+    return len(frame)

@@ -36,11 +36,13 @@ from repro.service.batcher import (
     WithdrawJob,
     WithdrawOutcome,
 )
-from repro.service.frontend import ServiceClient, ServiceFrontend
+from repro.service.aio import AsyncServiceFrontend
+from repro.service.frontend import DispatchCore, ServiceClient, ServiceFrontend
 from repro.service.loadgen import (
     LoadReport,
     Request,
     mint_deposit_traffic,
+    run_async_socket_trace,
     run_socket_trace,
     run_trace,
 )
@@ -82,7 +84,10 @@ __all__ = [
     "mint_deposit_traffic",
     "run_trace",
     "run_socket_trace",
+    "run_async_socket_trace",
     "ServiceFrontend",
+    "AsyncServiceFrontend",
+    "DispatchCore",
     "ServiceClient",
     "VerificationBackend",
     "InlineBackend",

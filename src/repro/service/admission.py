@@ -110,6 +110,19 @@ class AdmissionController:
     def shed_total(self) -> int:
         return self.shed_by_rate + self.shed_by_queue
 
+    def overloaded(self, queue_depth: int) -> bool:
+        """Would a request arriving at *queue_depth* be shed for backlog?
+
+        A side-effect-free peek at the queue-depth bound (no counters,
+        no token consumed) for callers that want to refuse work *before*
+        paying to parse it — the async front door answers ``BUSY`` from
+        a frame header alone on this signal.  Rate sheds are deliberately
+        excluded: they depend on the request's arrival clock, which is
+        inside the payload this path never decodes.
+        """
+        return (self.max_queue_depth is not None
+                and queue_depth >= self.max_queue_depth)
+
     def admit(self, now: float, queue_depth: int) -> AdmissionDecision:
         """Decide one request given the current backlog.
 

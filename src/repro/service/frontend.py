@@ -25,13 +25,19 @@ Threading model — **one dispatcher owns the service**:
   (:class:`~repro.net.wire.FrameDecoder`) and enqueue work; a torn or
   corrupt frame poisons *only that connection* (best-effort ``ERROR``
   frame, then close) — the mid-frame-disconnect tests hold this;
-* a single dispatcher thread drains the queue in arrival order,
-  submits a batch of requests to the (single-threaded)
-  ``MarketService``, steps it, and routes reply envelopes back to the
-  owning connection by service sequence number.  Submitting the whole
-  backlog before stepping is what lets requests from *different
-  connections* share one verification batch — the cross-core win of
-  the worker pool survives the wire.
+* a single dispatcher thread (:class:`DispatchCore`) drains the queue
+  in arrival order, submits a batch of requests to the
+  (single-threaded) ``MarketService``, steps it, and routes reply
+  envelopes back to the owning connection by service sequence number.
+  Submitting the whole backlog before stepping is what lets requests
+  from *different connections* share one verification batch — the
+  cross-core win of the worker pool survives the wire.
+
+:class:`DispatchCore` is deliberately frontend-agnostic: the threaded
+frontend here and the asyncio frontend in :mod:`repro.service.aio`
+feed the *same* queue, run the *same* dispatch loop and reply routing,
+and therefore produce bit-identical reply streams for the same arrival
+sequence — the conformance suite holds the two to that.
 
 The front-end holds no bank state and makes no crypto decisions; it is
 a framing shim, so every correctness property (FIFO per sender,
@@ -53,7 +59,170 @@ import repro.obs as obs
 from repro.net.wire import FrameDecoder, WireError, encode_frame, read_frame, write_frame
 from repro.service.server import MarketService
 
-__all__ = ["ServiceFrontend", "ServiceClient", "ClientRetryError"]
+__all__ = ["DispatchCore", "ServiceFrontend", "ServiceClient", "ClientRetryError"]
+
+
+class DispatchCore:
+    """The one-dispatcher-owns-the-service loop both frontends share.
+
+    Connection objects handed to :meth:`enqueue` need three things: a
+    ``name`` (the default sender), a thread-safe ``send(value) -> bool``
+    (best-effort framed reply, ``False`` once the peer is gone), and a
+    ``drop(cid)`` callback for admitted requests that will never be
+    answered (a duplicate of an in-flight rid is deliberately dropped —
+    the original's reply answers for both).  ``drop`` is what lets the
+    asyncio frontend keep an exact per-connection in-flight count.
+
+    Everything that decides *what the service does* — submission order
+    into the service, batching greed, reply correlation by sequence
+    number — lives here and only here, which is the structural argument
+    for the threaded and async frontends answering byte-identically.
+    """
+
+    def __init__(self, service: MarketService,
+                 telemetry: "obs.Telemetry") -> None:
+        self.service = service
+        self.obs = telemetry
+        self._work: queue.Queue = queue.Queue()
+        self._route: dict[int, tuple[Any, Any]] = {}  # seq -> (conn, cid)
+        self._reply_box: list[dict] = []
+        self._thread: threading.Thread | None = None
+        self.served = 0
+        #: called on the dispatcher thread after each dispatched batch,
+        #: while the service is quiescent — the one safe place for
+        #: periodic maintenance that must own the service (checkpoint
+        #: shipping in :mod:`repro.cluster.replicate` hangs off this)
+        self.after_batch: Callable[[], None] | None = None
+        self._m_frames = telemetry.registry.counter(
+            "repro_frontend_frames_total", "request frames accepted"
+        )
+        # the dispatcher is the only thread that touches the service;
+        # this observer therefore only fires on the dispatcher thread
+        service.transport.add_observer(self._capture_reply)
+
+    @property
+    def backlog(self) -> int:
+        """Frames enqueued or submitted but not yet answered.
+
+        The ingestion tier's own contribution to the not-yet-applied
+        backlog; the async frontend adds it to the service's queue
+        depth when asking admission for the pre-parse overload signal.
+        """
+        return self._work.qsize() + len(self._route)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="frontend-dispatch", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._work.put(None)  # dispatcher sentinel
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def add_after_batch(self, fn: Callable[[], None]) -> None:
+        """Chain *fn* onto the after-batch maintenance hook.
+
+        Multiple maintenance tasks (checkpoint shipping, journal
+        checkpoint + compaction via :class:`~repro.service.journal
+        .JournalMaintenance`) can share the quiescent point; they run
+        on the dispatcher thread in registration order.
+        """
+        current = self.after_batch
+        if current is None:
+            self.after_batch = fn
+            return
+
+        def chained() -> None:
+            current()
+            fn()
+
+        self.after_batch = chained
+
+    # -- the dispatcher ----------------------------------------------------
+    def enqueue(self, conn: Any, request: Any) -> None:
+        """Hand one parsed request frame to the dispatcher (any thread)."""
+        self._work.put(("request", conn, request))
+
+    def _capture_reply(self, envelope) -> None:
+        if envelope.kind == "reply" and envelope.sender == self.service.name:
+            self._reply_box.append(envelope.payload)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._work.get()
+            if item is None:
+                return
+            batch = [item]
+            # greedily take the whole backlog (bounded by the batcher's
+            # coalescing window) so concurrent connections share a flush
+            limit = max(1, self.service.batcher.max_batch) - 1
+            while limit > 0:
+                try:
+                    extra = self._work.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:
+                    self._dispatch(batch)
+                    return
+                batch.append(extra)
+                limit -= 1
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list[tuple[str, Any, Any]]) -> None:
+        for _tag, conn, request in batch:
+            self._submit_one(conn, request)
+        # flush + apply until every accepted request has answered;
+        # replies route back by seq as the observer captures them
+        self.service.drain()
+        self._flush_replies()
+        if self.after_batch is not None:
+            self.after_batch()
+
+    def _submit_one(self, conn: Any, request: Any) -> None:
+        if not isinstance(request, dict) or not isinstance(request.get("kind"), str):
+            conn.send({"cid": request.get("cid") if isinstance(request, dict) else None,
+                       "status": "ERROR", "error": "request must be a dict with a 'kind'"})
+            return
+        cid = request.get("cid")
+        sender = request.get("sender") or conn.name
+        rid = request.get("rid")
+        now = request.get("now", 0.0)
+        self._m_frames.inc()
+        try:
+            seq = self.service.submit(
+                sender, request["kind"], request.get("payload"),
+                now=float(now), rid=rid,
+            )
+        except Exception as exc:  # a malformed envelope poisons only itself
+            conn.send({"cid": cid, "status": "ERROR", "error": str(exc)})
+            return
+        self._route[seq] = (conn, cid)
+
+    def _flush_replies(self) -> None:
+        replies, self._reply_box = self._reply_box, []
+        for payload in replies:
+            seq = payload.get("req")
+            routed = self._route.pop(seq, None)
+            if routed is None:
+                continue  # a recovery-synthesized or duplicate reply
+            conn, cid = routed
+            if conn.send({"cid": cid, **payload}):
+                self.served += 1
+        # after a drain every accepted request has answered; whatever is
+        # still routed is a deliberately dropped duplicate of an
+        # in-flight rid — the original's reply already answered its
+        # sender, so release the window slot instead of leaking it
+        if self._route:
+            leftovers, self._route = self._route, {}
+            for conn, cid in leftovers.values():
+                conn.drop(cid)
 
 
 @dataclass
@@ -78,6 +247,14 @@ class _Conn:
         except (OSError, WireError):
             self.close()
             return False
+
+    def drop(self, cid: Any) -> None:
+        """A routed request was deliberately never answered.
+
+        The threaded frontend has no in-flight window to release, so
+        this is a no-op; the async frontend's connection uses the same
+        hook to return the slot to its backpressure window.
+        """
 
     def close(self) -> None:
         if not self.open:
@@ -110,65 +287,86 @@ class ServiceFrontend:
     ) -> None:
         self.service = service
         self.obs = telemetry if telemetry is not None else service.obs
+        self.core = DispatchCore(service, self.obs)
         self._listener = socket.create_server((host, port))
         self.address: tuple[str, int] = self._listener.getsockname()[:2]
-        self._work: queue.Queue = queue.Queue()
         self._conns: list[_Conn] = []
         self._conns_lock = threading.Lock()
-        self._route: dict[int, tuple[_Conn, Any]] = {}  # seq -> (conn, cid)
-        self._reply_box: list[dict] = []
+        self._readers: list[threading.Thread] = []
         self._next_conn = 0
         self._running = False
-        self._threads: list[threading.Thread] = []
-        self.served = 0
+        self._accept_thread: threading.Thread | None = None
         self.conn_errors = 0
-        #: called on the dispatcher thread after each dispatched batch,
-        #: while the service is quiescent — the one safe place for
-        #: periodic maintenance that must own the service (checkpoint
-        #: shipping in :mod:`repro.cluster.replicate` hangs off this)
-        self.after_batch: Callable[[], None] | None = None
         registry = self.obs.registry
         self._m_conns = registry.gauge(
             "repro_frontend_connections", "live client connections"
-        )
-        self._m_frames = registry.counter(
-            "repro_frontend_frames_total", "request frames accepted"
         )
         self._m_conn_errors = registry.counter(
             "repro_frontend_conn_errors_total",
             "connections dropped for wire violations",
         )
-        # the dispatcher is the only thread that touches the service;
-        # this observer therefore only fires on the dispatcher thread
-        service.transport.add_observer(self._capture_reply)
+
+    # the dispatcher's scorecard and maintenance hook live on the core;
+    # these mirrors keep the public surface of the two frontends equal
+    @property
+    def served(self) -> int:
+        return self.core.served
+
+    @property
+    def after_batch(self) -> Callable[[], None] | None:
+        return self.core.after_batch
+
+    @after_batch.setter
+    def after_batch(self, fn: Callable[[], None] | None) -> None:
+        self.core.after_batch = fn
+
+    def add_after_batch(self, fn: Callable[[], None]) -> None:
+        """Chain *fn* onto the after-batch maintenance hook."""
+        self.core.add_after_batch(fn)
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "ServiceFrontend":
         if self._running:
             return self
         self._running = True
-        for target, name in ((self._accept_loop, "frontend-accept"),
-                             (self._dispatch_loop, "frontend-dispatch")):
-            thread = threading.Thread(target=target, name=name, daemon=True)
-            thread.start()
-            self._threads.append(thread)
+        self.core.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="frontend-accept", daemon=True
+        )
+        self._accept_thread.start()
         return self
 
     def close(self) -> None:
         if not self._running:
             return
         self._running = False
+        # a thread parked in accept() does not wake when the listener fd
+        # closes under it; dial one throwaway connection to kick it out
+        try:
+            socket.create_connection(self.address, timeout=1.0).close()
+        except OSError:
+            pass
         try:
             self._listener.close()
         except OSError:
             pass
-        self._work.put(None)  # dispatcher sentinel
-        for thread in self._threads:
-            thread.join(timeout=5.0)
+        # closing the sockets first is what unblocks reader threads
+        # parked in recv() — an abrupt client disconnect during shutdown
+        # must not leave a thread behind, so join every reader after
         with self._conns_lock:
-            conns, self._conns = self._conns, []
+            conns = list(self._conns)
         for conn in conns:
             conn.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        with self._conns_lock:
+            readers, self._readers = self._readers, []
+        for thread in readers:
+            thread.join(timeout=5.0)
+        self.core.stop()
+        with self._conns_lock:
+            self._conns = []
         self._m_conns.set(0)
 
     def __enter__(self) -> "ServiceFrontend":
@@ -177,25 +375,6 @@ class ServiceFrontend:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def add_after_batch(self, fn: Callable[[], None]) -> None:
-        """Chain *fn* onto the after-batch maintenance hook.
-
-        Multiple maintenance tasks (checkpoint shipping, journal
-        checkpoint + compaction via :class:`~repro.service.journal
-        .JournalMaintenance`) can share the quiescent point; they run
-        on the dispatcher thread in registration order.
-        """
-        current = self.after_batch
-        if current is None:
-            self.after_batch = fn
-            return
-
-        def chained() -> None:
-            current()
-            fn()
-
-        self.after_batch = chained
-
     # -- reader side -------------------------------------------------------
     def _accept_loop(self) -> None:
         while self._running:
@@ -203,15 +382,22 @@ class ServiceFrontend:
                 sock, _peer = self._listener.accept()
             except OSError:
                 return  # listener closed
+            if not self._running:
+                sock.close()  # close()'s wake-up connection
+                return
             conn = _Conn(sock=sock, name=f"conn{self._next_conn}")
             self._next_conn += 1
-            with self._conns_lock:
-                self._conns.append(conn)
-                self._m_conns.set(len(self._conns))
             thread = threading.Thread(
                 target=self._reader_loop, args=(conn,),
                 name=f"frontend-{conn.name}", daemon=True,
             )
+            with self._conns_lock:
+                self._conns.append(conn)
+                self._m_conns.set(len(self._conns))
+                # keep the join list from growing without bound on
+                # long-lived frontends: finished readers leave here
+                self._readers = [t for t in self._readers if t.is_alive()]
+                self._readers.append(thread)
             thread.start()
 
     def _reader_loop(self, conn: _Conn) -> None:
@@ -230,7 +416,7 @@ class ServiceFrontend:
                     break
                 decoder.feed(data)
                 for request in decoder.frames():
-                    self._work.put(("request", conn, request))
+                    self.core.enqueue(conn, request)
         except WireError as exc:
             self.conn_errors += 1
             self._m_conn_errors.inc()
@@ -244,73 +430,6 @@ class ServiceFrontend:
                 if conn in self._conns:
                     self._conns.remove(conn)
                 self._m_conns.set(len(self._conns))
-
-    # -- dispatcher side ---------------------------------------------------
-    def _capture_reply(self, envelope) -> None:
-        if envelope.kind == "reply" and envelope.sender == self.service.name:
-            self._reply_box.append(envelope.payload)
-
-    def _dispatch_loop(self) -> None:
-        while True:
-            item = self._work.get()
-            if item is None:
-                return
-            batch = [item]
-            # greedily take the whole backlog (bounded by the batcher's
-            # coalescing window) so concurrent connections share a flush
-            limit = max(1, self.service.batcher.max_batch) - 1
-            while limit > 0:
-                try:
-                    extra = self._work.get_nowait()
-                except queue.Empty:
-                    break
-                if extra is None:
-                    self._dispatch(batch)
-                    return
-                batch.append(extra)
-                limit -= 1
-            self._dispatch(batch)
-
-    def _dispatch(self, batch: list[tuple[str, _Conn, Any]]) -> None:
-        for _tag, conn, request in batch:
-            self._submit_one(conn, request)
-        # flush + apply until every accepted request has answered;
-        # replies route back by seq as the observer captures them
-        self.service.drain()
-        self._flush_replies()
-        if self.after_batch is not None:
-            self.after_batch()
-
-    def _submit_one(self, conn: _Conn, request: Any) -> None:
-        if not isinstance(request, dict) or not isinstance(request.get("kind"), str):
-            conn.send({"cid": request.get("cid") if isinstance(request, dict) else None,
-                       "status": "ERROR", "error": "request must be a dict with a 'kind'"})
-            return
-        cid = request.get("cid")
-        sender = request.get("sender") or conn.name
-        rid = request.get("rid")
-        now = request.get("now", 0.0)
-        self._m_frames.inc()
-        try:
-            seq = self.service.submit(
-                sender, request["kind"], request.get("payload"),
-                now=float(now), rid=rid,
-            )
-        except Exception as exc:  # a malformed envelope poisons only itself
-            conn.send({"cid": cid, "status": "ERROR", "error": str(exc)})
-            return
-        self._route[seq] = (conn, cid)
-
-    def _flush_replies(self) -> None:
-        replies, self._reply_box = self._reply_box, []
-        for payload in replies:
-            seq = payload.get("req")
-            routed = self._route.pop(seq, None)
-            if routed is None:
-                continue  # a recovery-synthesized or duplicate reply
-            conn, cid = routed
-            if conn.send({"cid": cid, **payload}):
-                self.served += 1
 
 
 class ClientRetryError(WireError):

@@ -23,6 +23,7 @@ exactly like real SPs who minted while sensing.
 
 from __future__ import annotations
 
+import asyncio
 import random
 import threading
 import time
@@ -32,6 +33,7 @@ from repro.crypto.cl_sig import cl_blind_issue
 from repro.ecash.dec import begin_withdrawal, finish_withdrawal
 from repro.ecash.spend import create_spend
 from repro.metrics.latency import LatencyRecorder, LatencyReport, SLOTarget
+from repro.net.wire import WireError, read_frame_async, write_frame_async
 from repro.service.frontend import ServiceClient
 from repro.service.server import Completion, MarketService
 
@@ -43,6 +45,7 @@ __all__ = [
     "mint_cluster_deposit_traffic",
     "run_trace",
     "run_socket_trace",
+    "run_async_socket_trace",
     "run_cluster_trace",
 ]
 
@@ -410,6 +413,121 @@ def run_socket_trace(
             raise reader_error[0]
     finally:
         client.close()
+    wall_end = time.perf_counter()
+    recorder.mark_span(wall_start, wall_end)
+
+    report = recorder.report() if len(recorder) else None
+    return LoadReport(
+        latency=report,
+        wall_elapsed=wall_end - wall_start,
+        submitted=n,
+        ok=counts["OK"],
+        shed=counts["BUSY"],
+        rejected=counts["REJECTED"],
+        errors=counts["ERROR"],
+        slo_findings=slo.check(report) if (slo is not None and report is not None) else (),
+    )
+
+
+def run_async_socket_trace(
+    address: tuple[str, int],
+    requests: list[Request],
+    arrivals: list[float] | None = None,
+    *,
+    connections: int = 32,
+    pipeline_depth: int = 8,
+    slo: SLOTarget | None = None,
+    timeout: float | None = 120.0,
+) -> LoadReport:
+    """Replay *requests* from many concurrent sockets; drain; report.
+
+    The many-connection twin of :func:`run_socket_trace`, built for the
+    asyncio front door: instead of one deep pipeline, the trace fans
+    across *connections* sockets multiplexed on one client-side event
+    loop — the same shape as a mobile-sensing population, many peers
+    each a few requests deep.  Each sender is pinned to one connection
+    (first appearance, round-robin), so per-sender request order is
+    preserved on the wire and the service's per-sender FIFO still
+    means what it means in the in-process harness.
+
+    Replies correlate by ``cid`` per connection.  A reply *without* a
+    cid is the async frontend's pre-parse ``BUSY`` (the payload holding
+    the cid was never decoded); it is counted against the oldest
+    outstanding request on that connection — the books stay balanced,
+    the latency recorder skips it like any other shed.
+    """
+    if connections < 1:
+        raise ValueError("connections must be positive")
+    if pipeline_depth < 1:
+        raise ValueError("pipeline_depth must be positive")
+    n = len(requests) if arrivals is None else min(len(requests), len(arrivals))
+    recorder = LatencyRecorder()
+    counts: dict[str, int] = {"OK": 0, "BUSY": 0, "REJECTED": 0, "ERROR": 0}
+
+    # pin each sender to one connection so its requests stay ordered
+    assignment: dict[str, int] = {}
+    per_conn: list[list[tuple[Request, float]]] = [[] for _ in range(connections)]
+    for i in range(n):
+        request = requests[i]
+        at = arrivals[i] if arrivals is not None else 0.0
+        slot = assignment.setdefault(request.sender, len(assignment) % connections)
+        per_conn[slot].append((request, at))
+    lanes = [lane for lane in per_conn if lane]
+
+    async def drive(lane: list[tuple[Request, float]]) -> None:
+        reader, writer = await asyncio.open_connection(*address)
+        sent_at: dict[int, float] = {}
+        window = asyncio.Semaphore(pipeline_depth)
+
+        async def read_loop() -> None:
+            remaining = len(lane)
+            while remaining:
+                reply = await read_frame_async(reader)
+                if reply is None:
+                    raise WireError("server closed the connection")
+                done = time.perf_counter()
+                status = reply.get("status", "ERROR")
+                counts[status] = counts.get(status, 0) + 1
+                cid = reply.get("cid")
+                if cid is None and sent_at:
+                    cid = next(iter(sent_at))  # pre-parse BUSY: oldest out
+                start = sent_at.pop(cid, None)
+                if status != "BUSY" and start is not None:
+                    recorder.record(done - start)
+                remaining -= 1
+                window.release()
+
+        read_task = asyncio.ensure_future(read_loop())
+        try:
+            for cid, (request, at) in enumerate(lane):
+                await window.acquire()
+                if read_task.done():
+                    read_task.result()  # surface the reader's failure
+                frame: dict = {"cid": cid, "kind": request.kind,
+                               "payload": request.payload, "now": at,
+                               "sender": request.sender}
+                if request.rid is not None:
+                    frame["rid"] = request.rid
+                sent_at[cid] = time.perf_counter()
+                await write_frame_async(writer, frame)
+            await read_task
+        finally:
+            read_task.cancel()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (OSError, asyncio.CancelledError):
+                pass
+
+    async def replay() -> None:
+        work = asyncio.gather(*(drive(lane) for lane in lanes))
+        if timeout is not None:
+            await asyncio.wait_for(work, timeout)
+        else:
+            await work
+
+    wall_start = time.perf_counter()
+    asyncio.run(replay())
     wall_end = time.perf_counter()
     recorder.mark_span(wall_start, wall_end)
 

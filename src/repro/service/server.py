@@ -156,6 +156,10 @@ class MarketService:
         self._bind_obs(telemetry)
         self._next_seq = 0
         self._queues: dict[str, deque[_Pending]] = {}
+        # maintained alongside the queues so :attr:`queue_depth` is an
+        # O(1) read that other threads (the async front door's event
+        # loop) can sample without iterating a dict being mutated
+        self._depth = 0
         self._sender_order: list[str] = []
         self._in_flight: dict[int, _Pending] = {}
         # rid -> cached reply, completion-ordered so eviction is FIFO
@@ -265,8 +269,23 @@ class MarketService:
 
     @property
     def queue_depth(self) -> int:
-        """Accepted-but-unapplied requests (the backpressure signal)."""
-        return sum(len(q) for q in self._queues.values())
+        """Accepted-but-unapplied requests (the backpressure signal).
+
+        A plain int read — safe to sample from any thread, which is how
+        the async front door's event loop checks for overload without
+        touching the dispatcher's queues.
+        """
+        return self._depth
+
+    def overloaded(self, extra: int = 0) -> bool:
+        """Would a request arriving now be shed for backlog?
+
+        *extra* is backlog the service cannot see yet (frames parsed
+        but not submitted — the front door's own queue).  Side-effect
+        free and thread-safe; see
+        :meth:`AdmissionController.overloaded`.
+        """
+        return self.admission.overloaded(self._depth + extra)
 
     def reply_for(self, rid: str) -> tuple[str, dict] | None:
         """The cached ``(status, body)`` verdict of a completed request.
@@ -393,12 +412,14 @@ class MarketService:
                 self._queues[sender] = deque()
                 self._sender_order.append(sender)
             self._queues[sender].append(pending)
+            self._depth += 1
             if kind in _CRYPTO_KINDS:
                 try:
                     self._enqueue_crypto(pending)
                 except ProtocolError as exc:
                     # malformed before it ever reaches the pool: fail it now
                     self._queues[sender].remove(pending)
+                    self._depth -= 1
                     self._fail(pending, "ERROR", str(exc))
             return seq
 
@@ -468,6 +489,7 @@ class MarketService:
             queue = self._queues.get(sender)
             while queue and queue[0].ready:
                 pending = queue.popleft()
+                self._depth -= 1
                 self._apply_one(pending)
                 completed += 1
         return completed
@@ -755,9 +777,11 @@ class MarketService:
             self._queues[sender] = deque()
             self._sender_order.append(sender)
         self._queues[sender].append(pending)
+        self._depth += 1
         if kind in _CRYPTO_KINDS:
             try:
                 self._enqueue_crypto(pending)
             except ProtocolError as exc:
                 self._queues[sender].remove(pending)
+                self._depth -= 1
                 self._fail(pending, "ERROR", str(exc))

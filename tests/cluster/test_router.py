@@ -7,7 +7,9 @@ import socket
 import pytest
 
 from repro.cluster import ClusterProxy, ClusterRouter, RouteError, StaleClusterMapError
+from repro.cluster import LocalCluster
 from repro.cluster.ring import ClusterMap
+from repro.service.aio import AsyncServiceFrontend
 from repro.service.frontend import ServiceClient
 
 
@@ -49,6 +51,25 @@ def test_missing_partition_key_is_a_route_error(local_cluster):
     with local_cluster.router() as router:
         with pytest.raises(RouteError):
             router.request("balance", {"account": "sp0"})
+
+
+def test_cluster_serves_over_async_frontends(dec_params_toy, cluster_keypair):
+    """``async_frontend=True`` swaps every node's front door for the
+    event-loop tier; routing, ownership and fan-out are unchanged."""
+    with LocalCluster(dec_params_toy, cluster_keypair, n_nodes=2,
+                      async_frontend=True) as cluster:
+        assert all(isinstance(node.frontend, AsyncServiceFrontend)
+                   for node in cluster.nodes.values())
+        with cluster.router() as router:
+            for i in range(4):
+                aid = f"sp{i}"
+                opened = router.request("open-account",
+                                        {"aid": aid, "balance": 8}, sender=aid)
+                assert opened["status"] == "OK"
+                balance = router.request("balance", {"aid": aid}, sender=aid)
+                assert balance["balance"] == 8
+            assert router.audit() == {"status": "OK", "clean": True,
+                                      "findings": []}
 
 
 def test_audit_fans_out_to_every_node(local_cluster):

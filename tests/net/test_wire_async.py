@@ -1,0 +1,214 @@
+"""The async read path holds the same wire contract as the blocking one.
+
+:func:`repro.net.wire.read_frame_async` and
+:meth:`~repro.net.wire.FrameDecoder.raw_frames` are the event-loop
+front door's framing; this suite ports the blocking suite's
+guarantees — every-byte corruption sweep over the same golden
+fixtures, torn-frame delivery at every split point, oversize
+rejection from the header alone, mid-frame EOF as a clean
+:class:`WireError` — to the async readers.  Stream fragmentation is
+driven directly through :class:`asyncio.StreamReader.feed_data`, so
+every tear and every flip is deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import random
+import struct
+import zlib
+
+import pytest
+
+from repro.net.wire import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_FRAME,
+    FrameDecoder,
+    WireError,
+    decode_payload,
+    encode_frame,
+    parse_header,
+    read_frame_async,
+    write_frame_async,
+)
+
+FIXTURES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "fixtures").glob("*.bin")
+)
+
+
+def read_all(data: bytes, *, chunks: list[int] | None = None) -> list:
+    """Drive ``read_frame_async`` over *data*, optionally fragmented.
+
+    Feeds the byte stream into a fresh :class:`asyncio.StreamReader`
+    (split at *chunks* boundaries when given), EOFs it, and returns
+    every frame read until clean EOF.  WireErrors propagate.
+    """
+
+    async def run() -> list:
+        reader = asyncio.StreamReader()
+        if chunks is None:
+            reader.feed_data(data)
+        else:
+            offset = 0
+            for size in chunks:
+                reader.feed_data(data[offset:offset + size])
+                offset += size
+            reader.feed_data(data[offset:])
+        reader.feed_eof()
+        values = []
+        while True:
+            value = await read_frame_async(reader)
+            if value is None:
+                return values
+            values.append(value)
+
+    return asyncio.run(run())
+
+
+class TestAsyncRoundTrip:
+    @pytest.mark.parametrize("fixture", FIXTURES, ids=lambda p: p.name)
+    def test_golden_fixtures_survive_async_read(self, fixture):
+        blob = fixture.read_bytes()
+        assert read_all(encode_frame(blob)) == [blob]
+
+    def test_back_to_back_frames(self):
+        # (no None value here: like read_frame, the async reader
+        # reserves None for "clean EOF between frames")
+        data = encode_frame(1) + encode_frame("two") + encode_frame(b"")
+        assert read_all(data) == [1, "two", b""]
+
+    def test_write_then_read_over_a_real_stream_pair(self):
+        """write_frame_async -> read_frame_async over a live asyncio
+        server: the two helpers interoperate on actual transports."""
+
+        async def run():
+            received = []
+            done = asyncio.Event()
+
+            async def handler(reader, writer):
+                while True:
+                    value = await read_frame_async(reader)
+                    if value is None:
+                        break
+                    received.append(value)
+                writer.close()
+                done.set()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            await write_frame_async(writer, {"k": [1, 2]})
+            await write_frame_async(writer, b"\x00" * 9)
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.wait_for(done.wait(), 10)
+            server.close()
+            await server.wait_closed()
+            return received
+
+        assert asyncio.run(run()) == [{"k": [1, 2]}, b"\x00" * 9]
+
+
+class TestAsyncTornFrames:
+    def test_every_split_point_reads_cleanly(self):
+        """A frame torn at *any* byte boundary still reads exactly once
+        through the async reader."""
+        frame = encode_frame({"k": [1, 2, 3], "v": b"payload"})
+        for split in range(len(frame) + 1):
+            values = read_all(frame, chunks=[split])
+            assert values == [{"k": [1, 2, 3], "v": b"payload"}], split
+
+    def test_byte_at_a_time(self):
+        frame = encode_frame([1, "x", None])
+        assert read_all(frame, chunks=[1] * len(frame)) == [[1, "x", None]]
+
+    def test_eof_mid_header_at_every_cut_is_a_wire_error(self):
+        """EOF inside a frame — at any offset — raises WireError, never
+        returns a value and never hangs."""
+        frame = encode_frame({"a": 1})
+        for cut in range(1, len(frame)):
+            with pytest.raises(WireError, match="closed"):
+                read_all(frame[:cut])
+
+    def test_eof_between_frames_is_clean(self):
+        data = encode_frame(0) + encode_frame(1)
+        assert read_all(data) == [0, 1]
+
+
+class TestAsyncOversizedPrefix:
+    def test_rejected_from_header_alone(self):
+        header = struct.pack(">4sII", MAGIC, MAX_FRAME + 1, zlib.crc32(b""))
+        with pytest.raises(WireError, match="exceeds MAX_FRAME"):
+            read_all(header)
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_frame(1))
+        frame[0] ^= 0xFF
+        with pytest.raises(WireError, match="magic"):
+            read_all(bytes(frame))
+
+
+class TestAsyncCorruptionSweep:
+    """Flip every byte of every golden fixture's frame: all rejected."""
+
+    @pytest.mark.parametrize("fixture", FIXTURES, ids=lambda p: p.name)
+    def test_single_byte_corruption_always_rejected(self, fixture):
+        frame = bytearray(encode_frame(fixture.read_bytes()))
+        for position in range(len(frame)):
+            corrupted = bytearray(frame)
+            corrupted[position] ^= 0x01
+            with pytest.raises(WireError):
+                read_all(bytes(corrupted))
+
+    @pytest.mark.parametrize("fixture", FIXTURES, ids=lambda p: p.name)
+    def test_corruption_rejected_when_torn_too(self, fixture):
+        """Corruption plus fragmentation (the realistic failure): the
+        async reader still rejects every flip, fed in two chunks."""
+        frame = bytearray(encode_frame(fixture.read_bytes()))
+        rng = random.Random(0xA51)
+        for position in rng.sample(range(len(frame)), min(32, len(frame))):
+            corrupted = bytearray(frame)
+            corrupted[position] ^= 0x80
+            split = rng.randrange(len(frame) + 1)
+            with pytest.raises(WireError):
+                read_all(bytes(corrupted), chunks=[split])
+
+
+class TestRawFrames:
+    """The pre-parse hook: header-validated, payload untouched."""
+
+    def test_raw_then_decode_matches_frames(self):
+        values = [{"cid": 1, "kind": "audit"}, b"blob", 17]
+        stream = b"".join(encode_frame(v) for v in values)
+        decoder = FrameDecoder()
+        decoder.feed(stream)
+        raw = list(decoder.raw_frames())
+        assert [decode_payload(p, crc) for _l, crc, p in raw] == values
+
+    def test_raw_frames_skip_crc_check(self):
+        """The whole point: a corrupt payload passes raw_frames (the
+        shed path never looks at it) but fails decode_payload."""
+        frame = bytearray(encode_frame({"cid": 2, "kind": "deposit"}))
+        frame[-1] ^= 0xFF
+        decoder = FrameDecoder()
+        decoder.feed(bytes(frame))
+        (_length, crc, payload), = decoder.raw_frames()
+        with pytest.raises(WireError, match="checksum"):
+            decode_payload(payload, crc)
+
+    def test_raw_frames_still_reject_bad_headers(self):
+        decoder = FrameDecoder()
+        decoder.feed(struct.pack(">4sII", b"NOPE", 4, 0))
+        with pytest.raises(WireError, match="magic"):
+            list(decoder.raw_frames())
+        with pytest.raises(WireError):  # poisoned
+            decoder.feed(b"more")
+
+    def test_parse_header_round_trip(self):
+        frame = encode_frame(b"xyz")
+        length, crc = parse_header(frame[:HEADER_SIZE])
+        assert length == len(frame) - HEADER_SIZE
+        assert decode_payload(frame[HEADER_SIZE:], crc) == b"xyz"

@@ -27,11 +27,30 @@ from repro.service import (
 from repro.service.loadgen import Request
 
 
+def _stray_reader_threads() -> list[threading.Thread]:
+    """Frontend reader/accept threads still alive (should be none
+    after close — the reader-leak regression guard)."""
+    return [t for t in threading.enumerate()
+            if t.name.startswith("frontend-") and t.is_alive()]
+
+
+def _assert_no_stray_threads(timeout: float = 5.0) -> None:
+    """Poll before asserting: close() joins each thread with a bounded
+    timeout, so a thread can be observably alive for an instant after
+    close returns without being leaked."""
+    deadline = time.monotonic() + timeout
+    while _stray_reader_threads() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert not _stray_reader_threads(), \
+        "frontend.close() left reader threads running"
+
+
 @pytest.fixture()
 def frontend(service):
     front = ServiceFrontend(service).start()
     yield front
     front.close()
+    _assert_no_stray_threads()
 
 
 @pytest.fixture()
@@ -201,6 +220,24 @@ class TestLifecycle:
         front = ServiceFrontend(service).start()
         front.close()
         front.close()
+
+    def test_abrupt_disconnect_during_shutdown_leaks_no_threads(self, service):
+        """Reader threads are joined on close even when clients vanish
+        abruptly — the historical leak: readers were spawned untracked,
+        so a client that dropped mid-shutdown left its thread behind."""
+        front = ServiceFrontend(service).start()
+        clients = [ServiceClient(front.address, timeout=10.0)
+                   for _ in range(4)]
+        for i, c in enumerate(clients):
+            assert c.request("audit", {}, rid=f"shutdown:{i}")["status"] == "OK"
+        # abrupt: half the clients drop without a goodbye while their
+        # reader threads are parked in recv(); the rest stay connected
+        for c in clients[:2]:
+            c.sock.close()
+        front.close()
+        _assert_no_stray_threads()
+        for c in clients[2:]:
+            c.close()
 
     def test_context_manager(self, service):
         with ServiceFrontend(service) as front:

@@ -35,7 +35,11 @@ DOCS = ROOT / "docs"
 
 #: modules docs/api.md must mention even though they are not top-level
 #: subpackages (the "flagship" subsystems users ask about by name)
-FLAGSHIPS = ("repro.crypto.batchverify", "repro.service.journal")
+FLAGSHIPS = (
+    "repro.crypto.batchverify",
+    "repro.service.journal",
+    "repro.service.aio",
+)
 
 #: directories a backticked path may live under to be checked; paths
 #: outside these roots (generated artifacts such as ``telemetry/``)
